@@ -1,0 +1,65 @@
+// Shared helpers for the experiment harnesses (bench/e*_*.cpp).
+//
+// Every experiment binary:
+//   * prints the table(s) it reproduces via io::Table,
+//   * accepts --seed=... and --trials=... where it makes sense,
+//   * finishes with a PASS/FAIL verdict line against the paper's bound
+//     so `for b in build/bench/*; do $b; done` doubles as a check.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/io/args.hpp"
+#include "tmwia/io/table.hpp"
+#include "tmwia/matrix/preference_matrix.hpp"
+
+namespace tmwia::bench {
+
+inline std::vector<matrix::PlayerId> iota_players(std::size_t n) {
+  std::vector<matrix::PlayerId> p(n);
+  std::iota(p.begin(), p.end(), 0u);
+  return p;
+}
+
+inline std::vector<std::uint32_t> iota_objects(std::size_t m) {
+  std::vector<std::uint32_t> o(m);
+  std::iota(o.begin(), o.end(), 0u);
+  return o;
+}
+
+/// Mean per-player output error over the given ids.
+inline double mean_error(const std::vector<bits::BitVector>& outputs,
+                         const matrix::PreferenceMatrix& truth,
+                         const std::vector<matrix::PlayerId>& ids) {
+  std::size_t total = 0;
+  for (auto p : ids) total += outputs[p].hamming(truth.row(p));
+  return static_cast<double>(total) / static_cast<double>(ids.size());
+}
+
+/// Emit the final verdict line shared by all harnesses.
+inline int verdict(const std::string& experiment, bool ok) {
+  std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", experiment.c_str());
+  return ok ? 0 : 1;
+}
+
+/// If the harness was invoked with --csv=DIR, mirror `table` to
+/// DIR/<name>.csv for plotting.
+inline void maybe_write_csv(const io::Args& args, const io::Table& table,
+                            const std::string& name) {
+  const auto dir = args.get("csv");
+  if (!dir) return;
+  const std::string path = *dir + "/" + name + ".csv";
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  table.write_csv(os);
+}
+
+}  // namespace tmwia::bench

@@ -1,0 +1,123 @@
+// E11 — google-benchmark microbenchmarks of the substrates: the
+// popcount Hamming kernels, vote tallying, random partitions, Coalesce,
+// the truncated SVD and the parallel_for engine. These quantify the
+// constant factors behind the experiment harnesses.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "tmwia/billboard/billboard.hpp"
+#include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/core/coalesce.hpp"
+#include "tmwia/engine/thread_pool.hpp"
+#include "tmwia/linalg/dense_matrix.hpp"
+#include "tmwia/matrix/generators.hpp"
+#include "tmwia/rng/partition.hpp"
+
+namespace {
+
+using namespace tmwia;
+
+void BM_HammingPacked(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(1);
+  const auto a = matrix::random_vector(m, rng);
+  const auto b = matrix::random_vector(m, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.hamming(b));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m / 8));
+}
+BENCHMARK(BM_HammingPacked)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_DtildeMasked(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(2);
+  auto a = bits::TriVector::from_bits(matrix::random_vector(m, rng));
+  auto b = bits::TriVector::from_bits(matrix::random_vector(m, rng));
+  for (std::size_t i = 0; i < m; i += 7) a.set(i, bits::Tri::kUnknown);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.dtilde(b));
+  }
+}
+BENCHMARK(BM_DtildeMasked)->Arg(4096)->Arg(65536);
+
+void BM_Tally(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(3);
+  const auto center = matrix::random_vector(512, rng);
+  std::vector<bits::BitVector> posts;
+  for (std::size_t i = 0; i < n; ++i) {
+    posts.push_back(i % 2 == 0 ? center : matrix::random_vector(512, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(billboard::tally(posts, static_cast<std::uint32_t>(n / 4)));
+  }
+}
+BENCHMARK(BM_Tally)->Arg(64)->Arg(1024);
+
+void BM_RandomPartition(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::random_partition(m, 64, rng));
+  }
+}
+BENCHMARK(BM_RandomPartition)->Arg(1024)->Arg(16384);
+
+void BM_Coalesce(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(5);
+  const auto center = matrix::random_vector(256, rng);
+  std::vector<bits::BitVector> vs;
+  for (std::size_t i = 0; i < n / 2; ++i) vs.push_back(matrix::flip_random(center, 3, rng));
+  while (vs.size() < n) vs.push_back(matrix::random_vector(256, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::coalesce(vs, 6, n / 4));
+  }
+}
+BENCHMARK(BM_Coalesce)->Arg(64)->Arg(256);
+
+void BM_TruncatedSvd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::DenseMatrix a(n, n);
+  std::uint64_t st = 6;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = static_cast<double>(rng::splitmix64(st) >> 11) * 0x1.0p-53;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::truncated_svd(a, 4, 20));
+  }
+}
+BENCHMARK(BM_TruncatedSvd)->Arg(64)->Arg(256);
+
+void BM_ParallelFor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    engine::parallel_for(0, n, [&](std::size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_ParallelFor)->Arg(1024)->Arg(65536);
+
+void BM_ProbeOracle(benchmark::State& state) {
+  rng::Rng rng(7);
+  const auto inst = matrix::uniform_random(64, 4096, rng);
+  billboard::ProbeOracle oracle(inst.matrix);
+  std::uint32_t o = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.probe(0, o));
+    o = (o + 1) % 4096;
+  }
+}
+BENCHMARK(BM_ProbeOracle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

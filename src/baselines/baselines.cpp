@@ -1,0 +1,176 @@
+#include "tmwia/baselines/baselines.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "tmwia/engine/thread_pool.hpp"
+#include "tmwia/linalg/dense_matrix.hpp"
+#include "tmwia/rng/partition.hpp"
+
+namespace tmwia::baselines {
+namespace {
+
+BaselineResult finish(billboard::ProbeOracle& oracle,
+                      const std::vector<std::uint64_t>& before, std::uint64_t probes_before,
+                      std::vector<bits::BitVector> outputs) {
+  BaselineResult res;
+  res.outputs = std::move(outputs);
+  res.rounds = oracle.rounds_since(before);
+  res.total_probes = oracle.total_invocations() - probes_before;
+  return res;
+}
+
+}  // namespace
+
+BaselineResult solo_probing(billboard::ProbeOracle& oracle) {
+  const std::size_t n = oracle.players();
+  const std::size_t m = oracle.objects();
+  const auto before = oracle.snapshot();
+  const auto probes_before = oracle.total_invocations();
+
+  std::vector<bits::BitVector> outputs(n, bits::BitVector(m));
+  engine::parallel_for(0, n, [&](std::size_t p) {
+    for (std::uint32_t o = 0; o < m; ++o) {
+      if (oracle.probe(static_cast<PlayerId>(p), o)) outputs[p].set(o, true);
+    }
+  });
+  return finish(oracle, before, probes_before, std::move(outputs));
+}
+
+BaselineResult sampled_knn(billboard::ProbeOracle& oracle, const KnnParams& params,
+                           rng::Rng rng) {
+  const std::size_t n = oracle.players();
+  const std::size_t m = oracle.objects();
+  const auto before = oracle.snapshot();
+  const auto probes_before = oracle.total_invocations();
+
+  const std::size_t R = std::min(params.probes_per_player, m);
+
+  // Phase 1: everyone samples R random objects and posts the results
+  // (the billboard is the oracle's public probe record).
+  std::vector<std::vector<std::uint32_t>> sampled(n);
+  std::vector<bits::BitVector> sample_vals(n, bits::BitVector(m));
+  std::vector<bits::BitVector> sample_mask(n, bits::BitVector(m));
+  engine::parallel_for(0, n, [&](std::size_t p) {
+    rng::Rng prng = rng.split(0x6a3, p);
+    sampled[p] = rng::sample_without_replacement(m, R, prng);
+    for (std::uint32_t o : sampled[p]) {
+      sample_mask[p].set(o, true);
+      if (oracle.probe(static_cast<PlayerId>(p), o)) sample_vals[p].set(o, true);
+    }
+  });
+
+  // Phase 2: similarity = agreement fraction on co-probed objects;
+  // prediction = majority among the k most similar raters of each
+  // object (billboard reads, no probing).
+  std::vector<bits::BitVector> outputs(n, bits::BitVector(m));
+  engine::parallel_for(0, n, [&](std::size_t p) {
+    // Rank all other players by similarity to p.
+    std::vector<std::pair<double, std::uint32_t>> sims;
+    sims.reserve(n - 1);
+    for (std::uint32_t q = 0; q < n; ++q) {
+      if (q == p) continue;
+      const bits::BitVector overlap = sample_mask[p] & sample_mask[q];
+      const std::size_t co = overlap.count_ones();
+      if (co < params.min_overlap) continue;
+      const bits::BitVector disagree = (sample_vals[p] ^ sample_vals[q]) & overlap;
+      const double agree = 1.0 - static_cast<double>(disagree.count_ones()) /
+                                     static_cast<double>(co);
+      sims.emplace_back(agree, q);
+    }
+    std::sort(sims.begin(), sims.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    const std::size_t k = std::min(params.neighbours, sims.size());
+
+    for (std::uint32_t o = 0; o < m; ++o) {
+      if (sample_mask[p].get(o)) {  // own probe wins
+        if (sample_vals[p].get(o)) outputs[p].set(o, true);
+        continue;
+      }
+      // Majority among the k nearest neighbours who rated o; fall back
+      // to the global majority of raters of o.
+      int vote = 0;
+      std::size_t used = 0;
+      for (const auto& [sim, q] : sims) {
+        if (used >= k) break;
+        if (!sample_mask[q].get(o)) continue;
+        vote += sample_vals[q].get(o) ? 1 : -1;
+        ++used;
+      }
+      if (used == 0) {
+        for (std::uint32_t q = 0; q < n; ++q) {
+          if (q != p && sample_mask[q].get(o)) vote += sample_vals[q].get(o) ? 1 : -1;
+        }
+      }
+      if (vote > 0) outputs[p].set(o, true);
+    }
+  });
+  return finish(oracle, before, probes_before, std::move(outputs));
+}
+
+BaselineResult svd_recommender(billboard::ProbeOracle& oracle, const SvdParams& params,
+                               rng::Rng rng) {
+  const std::size_t n = oracle.players();
+  const std::size_t m = oracle.objects();
+  const auto before = oracle.snapshot();
+  const auto probes_before = oracle.total_invocations();
+
+  // Observe each entry independently with probability q; encode
+  // like=+1 / dislike=-1 / unseen=0, rescaled by 1/q so the expectation
+  // matches the full +/-1 matrix.
+  linalg::DenseMatrix sampled(n, m);
+  const double scale = 1.0 / params.sample_rate;
+  engine::parallel_for(0, n, [&](std::size_t p) {
+    rng::Rng prng = rng.split(0x57d, p);
+    for (std::uint32_t o = 0; o < m; ++o) {
+      if (prng.bernoulli(params.sample_rate)) {
+        const bool v = oracle.probe(static_cast<PlayerId>(p), o);
+        sampled(p, o) = (v ? 1.0 : -1.0) * scale;
+      }
+    }
+  });
+
+  const std::size_t k = std::min({params.rank, n, m});
+  const auto svd = linalg::truncated_svd(sampled, k, params.power_iters);
+  const auto approx = linalg::reconstruct(svd);
+
+  std::vector<bits::BitVector> outputs(n, bits::BitVector(m));
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::uint32_t o = 0; o < m; ++o) {
+      if (approx(p, o) > 0.0) outputs[p].set(o, true);
+    }
+  }
+  return finish(oracle, before, probes_before, std::move(outputs));
+}
+
+BaselineResult global_majority(billboard::ProbeOracle& oracle, std::size_t probes_per_player,
+                               rng::Rng rng) {
+  const std::size_t n = oracle.players();
+  const std::size_t m = oracle.objects();
+  const auto before = oracle.snapshot();
+  const auto probes_before = oracle.total_invocations();
+
+  const std::size_t R = std::min(probes_per_player, m);
+  std::vector<std::atomic<std::int32_t>> votes(m);
+
+  engine::parallel_for(0, n, [&](std::size_t p) {
+    rng::Rng prng = rng.split(0x93a, p);
+    const auto objs = rng::sample_without_replacement(m, R, prng);
+    for (std::uint32_t o : objs) {
+      const bool v = oracle.probe(static_cast<PlayerId>(p), o);
+      votes[o].fetch_add(v ? 1 : -1, std::memory_order_relaxed);
+    }
+  });
+
+  bits::BitVector consensus(m);
+  for (std::uint32_t o = 0; o < m; ++o) {
+    if (votes[o].load(std::memory_order_relaxed) > 0) consensus.set(o, true);
+  }
+  std::vector<bits::BitVector> outputs(n, consensus);
+  return finish(oracle, before, probes_before, std::move(outputs));
+}
+
+}  // namespace tmwia::baselines

@@ -1,0 +1,72 @@
+// Comparator algorithms for experiment E9 (and the paper's Section 2
+// positioning):
+//
+//  * SoloProbing      — "go it alone": every player probes every object.
+//    Exact, but m rounds; the trivial upper bound the interactive model
+//    is trying to beat.
+//  * SampledKnn       — interactive but assumption-free in the naive
+//    way: sample R random probes per player, estimate pairwise
+//    similarity from co-probed objects, predict by k-nearest-neighbour
+//    majority. Represents the "polynomial overhead" regime: accuracy
+//    needs R = Omega(poly) samples because similarities must be
+//    estimated pairwise.
+//  * SvdRecommender   — the non-interactive low-rank approach ([5, 6,
+//    14, 15]): observe each entry i.i.d. with probability q, rescale,
+//    take a rank-k SVD and round. Provably good under a spectral gap
+//    and near-orthogonal types; E9 shows it degrading on adversarial
+//    diversity while tmwia does not.
+//  * GlobalMajority   — one vector for everyone (the degenerate
+//    "community of all players"): the error floor any non-personalized
+//    scheme hits.
+//
+// All baselines run against the same ProbeOracle so probe accounting is
+// directly comparable with the main algorithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/bits/bitvector.hpp"
+#include "tmwia/rng/rng.hpp"
+
+namespace tmwia::baselines {
+
+using matrix::PlayerId;
+
+struct BaselineResult {
+  std::vector<bits::BitVector> outputs;  ///< per player, all objects
+  std::uint64_t rounds = 0;              ///< max probes per player
+  std::uint64_t total_probes = 0;
+};
+
+/// Every player probes every object. Exact output, m rounds.
+BaselineResult solo_probing(billboard::ProbeOracle& oracle);
+
+struct KnnParams {
+  std::size_t probes_per_player = 64;  ///< R random probes each
+  std::size_t neighbours = 8;          ///< k
+  /// Minimum co-probed objects before a similarity estimate counts.
+  std::size_t min_overlap = 4;
+};
+
+/// Random sampling + k-nearest-neighbour majority prediction.
+BaselineResult sampled_knn(billboard::ProbeOracle& oracle, const KnnParams& params,
+                           rng::Rng rng);
+
+struct SvdParams {
+  double sample_rate = 0.1;  ///< q: per-entry observation probability
+  std::size_t rank = 4;      ///< k factors kept
+  std::size_t power_iters = 40;
+};
+
+/// Non-interactive low-rank reconstruction from i.i.d. samples.
+BaselineResult svd_recommender(billboard::ProbeOracle& oracle, const SvdParams& params,
+                               rng::Rng rng);
+
+/// Majority vote per object over `probes_per_player` random probes per
+/// player; every player outputs the same vector.
+BaselineResult global_majority(billboard::ProbeOracle& oracle, std::size_t probes_per_player,
+                               rng::Rng rng);
+
+}  // namespace tmwia::baselines

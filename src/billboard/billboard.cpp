@@ -1,0 +1,72 @@
+#include "tmwia/billboard/billboard.hpp"
+
+#include <algorithm>
+
+namespace tmwia::billboard {
+
+void Billboard::post(const std::string& channel, matrix::PlayerId p, const bits::BitVector& v) {
+  std::lock_guard<std::mutex> lk(mu_);
+  channels_[channel].posts.insert_or_assign(p, v);
+}
+
+std::vector<VotedVector> tally(std::span<const bits::BitVector> posts,
+                               std::uint32_t min_votes) {
+  // Group identical vectors: bucket by hash, verify by equality.
+  std::unordered_map<std::uint64_t, std::vector<VotedVector>> buckets;
+  for (const auto& v : posts) {
+    auto& bucket = buckets[v.hash()];
+    bool found = false;
+    for (auto& vv : bucket) {
+      if (vv.vec == v) {
+        ++vv.votes;
+        found = true;
+        break;
+      }
+    }
+    if (!found) bucket.push_back({v, 1});
+  }
+
+  std::vector<VotedVector> out;
+  for (auto& [h, bucket] : buckets) {
+    for (auto& vv : bucket) {
+      if (vv.votes >= min_votes) out.push_back(std::move(vv));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const VotedVector& a, const VotedVector& b) {
+    return a.vec.lex_compare(b.vec) < 0;
+  });
+  return out;
+}
+
+std::vector<VotedVector> Billboard::popular(const std::string& channel,
+                                            std::uint32_t min_votes) const {
+  std::vector<bits::BitVector> posts;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = channels_.find(channel);
+    if (it == channels_.end()) return {};
+    posts.reserve(it->second.posts.size());
+    for (const auto& [p, v] : it->second.posts) posts.push_back(v);
+  }
+  return tally(posts, min_votes);
+}
+
+std::size_t Billboard::posters(const std::string& channel) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = channels_.find(channel);
+  return it == channels_.end() ? 0 : it->second.posts.size();
+}
+
+void Billboard::clear(const std::string& channel) {
+  std::lock_guard<std::mutex> lk(mu_);
+  channels_.erase(channel);
+}
+
+std::size_t Billboard::total_posts() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t t = 0;
+  for (const auto& [name, ch] : channels_) t += ch.posts.size();
+  return t;
+}
+
+}  // namespace tmwia::billboard

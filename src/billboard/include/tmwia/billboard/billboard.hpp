@@ -1,0 +1,68 @@
+// Billboard: the shared public posting surface.
+//
+// Besides raw probe results (kept by ProbeOracle), the algorithms post
+// *vectors* — ZeroRadius step 4 has each player in one half publish its
+// output vector for its object half, and the other half then adopts any
+// vector "voted for by at least an alpha/2 fraction" of the posters.
+// The billboard therefore supports named channels of (player -> vector)
+// posts with vote aggregation by vector equality.
+//
+// Thread safety: posts from concurrent players are serialized by a
+// mutex; aggregation reads take the same mutex.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tmwia/bits/bitvector.hpp"
+#include "tmwia/matrix/preference_matrix.hpp"
+
+namespace tmwia::billboard {
+
+/// A vector together with how many players posted exactly it.
+struct VotedVector {
+  bits::BitVector vec;
+  std::uint32_t votes = 0;
+};
+
+/// Group identical vectors of `posts` and return those with at least
+/// `min_votes` occurrences, in deterministic (lexicographic) order.
+/// This is the "voted for by at least a beta fraction" primitive of
+/// Zero Radius step 4 and Small Radius step 1b.
+std::vector<VotedVector> tally(std::span<const bits::BitVector> posts,
+                               std::uint32_t min_votes);
+
+class Billboard {
+ public:
+  /// Player p posts vector v on `channel` (overwrites p's previous post
+  /// on that channel, as a player has one current opinion per channel).
+  void post(const std::string& channel, matrix::PlayerId p, const bits::BitVector& v);
+
+  /// All distinct vectors on `channel` with >= min_votes posters,
+  /// in deterministic (lexicographic) order.
+  [[nodiscard]] std::vector<VotedVector> popular(const std::string& channel,
+                                                 std::uint32_t min_votes) const;
+
+  /// Number of players who posted on `channel`.
+  [[nodiscard]] std::size_t posters(const std::string& channel) const;
+
+  /// Drop a channel's posts (phases recycle channel names).
+  void clear(const std::string& channel);
+
+  /// Total posts across all channels (diagnostics).
+  [[nodiscard]] std::size_t total_posts() const;
+
+ private:
+  struct Channel {
+    std::unordered_map<matrix::PlayerId, bits::BitVector> posts;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Channel> channels_;
+};
+
+}  // namespace tmwia::billboard

@@ -1,0 +1,112 @@
+// ProbeOracle: the single gateway between player code and the hidden
+// preference matrix.
+//
+// Model recap (Section 1.1): in each round every player probes one
+// object of its own row at unit cost, and the result is posted on the
+// shared billboard. We simulate asynchronously but account faithfully:
+//  * `invocations(p)` counts every Probe call by player p — this is the
+//    quantity the theorems bound (e.g. Thm 3.2's k(D+1));
+//  * `charged(p)` counts *distinct* (p, o) probes — re-reading one's own
+//    posted result is a billboard read, not a new probe;
+//  * rounds of a phase = max over participating players of the probes
+//    spent in that phase, matching the one-probe-per-round lockstep.
+//
+// Thread safety: concurrent probes by *different* players are safe
+// (per-player ledgers, per-player memo rows). Player code runs
+// single-threaded per player.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "tmwia/matrix/preference_matrix.hpp"
+
+namespace tmwia::billboard {
+
+using matrix::ObjectId;
+using matrix::PlayerId;
+
+/// Probe-noise model: the paper's intro motivates diversity partly by
+/// "time-variable factors (such as noise, weather, mood)". The oracle
+/// can inject Bernoulli(epsilon) read errors in two flavours:
+///  * kSticky — the error is a deterministic function of (p, o): a
+///    miscalibrated sensor / a user who consistently misjudges an item.
+///    Re-probing returns the same wrong answer.
+///  * kFresh  — independent error per invocation: a flaky link. Re-
+///    probing can disagree with earlier reads.
+struct NoiseModel {
+  enum class Kind : std::uint8_t { kNone, kSticky, kFresh };
+  Kind kind = Kind::kNone;
+  double epsilon = 0.0;
+  std::uint64_t seed = 0;
+
+  static NoiseModel none() { return {}; }
+  static NoiseModel sticky(double epsilon, std::uint64_t seed) {
+    return {Kind::kSticky, epsilon, seed};
+  }
+  static NoiseModel fresh(double epsilon, std::uint64_t seed) {
+    return {Kind::kFresh, epsilon, seed};
+  }
+};
+
+class ProbeOracle {
+ public:
+  explicit ProbeOracle(const matrix::PreferenceMatrix& truth,
+                       NoiseModel noise = NoiseModel::none());
+
+  [[nodiscard]] std::size_t players() const { return truth_->players(); }
+  [[nodiscard]] std::size_t objects() const { return truth_->objects(); }
+
+  /// Player p probes object o: returns v(p)[o], charges cost, records
+  /// the result on the probe record (billboard side).
+  bool probe(PlayerId p, ObjectId o);
+
+  /// Has (p, o) been probed already (by p)? Billboard read, free.
+  [[nodiscard]] bool is_probed(PlayerId p, ObjectId o) const;
+
+  /// Result of a past probe (the value posted on the billboard — under
+  /// fresh noise this is the most recent read, which may differ from
+  /// the truth). Requires is_probed(p, o). Billboard read: any player
+  /// may call this for any p (results are public).
+  [[nodiscard]] bool probed_value(PlayerId p, ObjectId o) const;
+
+  /// Total Probe invocations by player p (the theorem-bound quantity).
+  [[nodiscard]] std::uint64_t invocations(PlayerId p) const {
+    return invocations_[p].load(std::memory_order_relaxed);
+  }
+
+  /// Distinct (p, o) pairs probed by p.
+  [[nodiscard]] std::uint64_t charged(PlayerId p) const {
+    return charged_[p].load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t total_invocations() const;
+  [[nodiscard]] std::uint64_t total_charged() const;
+
+  /// Max invocations over all players: the number of lockstep rounds a
+  /// synchronous execution of the whole history would need.
+  [[nodiscard]] std::uint64_t max_invocations() const;
+
+  /// Snapshot of per-player invocation counters, for phase accounting:
+  ///   auto before = oracle.snapshot();
+  ///   ... phase ...
+  ///   rounds = oracle.rounds_since(before);
+  [[nodiscard]] std::vector<std::uint64_t> snapshot() const;
+  [[nodiscard]] std::uint64_t rounds_since(const std::vector<std::uint64_t>& before) const;
+
+ private:
+  [[nodiscard]] bool noisy_read(PlayerId p, ObjectId o, std::uint64_t invocation) const;
+
+  const matrix::PreferenceMatrix* truth_;
+  NoiseModel noise_;
+  std::vector<std::atomic<std::uint64_t>> invocations_;
+  std::vector<std::atomic<std::uint64_t>> charged_;
+  // Per-player record of which objects were probed and the posted
+  // values (packed bitmaps).
+  std::vector<bits::BitVector> probed_;
+  std::vector<bits::BitVector> values_;
+};
+
+}  // namespace tmwia::billboard

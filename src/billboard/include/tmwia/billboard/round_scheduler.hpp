@@ -1,0 +1,122 @@
+// RoundScheduler: a faithful executor of the paper's synchronous model
+// (Section 1.1): "the algorithm proceeds in parallel rounds: in each
+// round, each player reads the shared billboard, probes one object, and
+// writes the result on the billboard."
+//
+// The library's algorithm implementations simulate this model centrally
+// (probe accounting is equivalent — see ProbeOracle), but the scheduler
+// is the reference semantics: strategies are per-player state machines
+// restricted to one probe per round, reading only results posted in
+// *earlier* rounds. It is used by tests to validate the accounting
+// equivalence and by downstream users who want to drop in their own
+// interactive strategies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tmwia/billboard/billboard.hpp"
+#include "tmwia/billboard/probe_oracle.hpp"
+
+namespace tmwia::billboard {
+
+class RoundScheduler;
+
+/// Read-only window onto the public state a player may consult during a
+/// round: everything posted up to the END OF THE PREVIOUS round.
+class RoundView {
+ public:
+  [[nodiscard]] std::size_t round() const { return round_; }
+  [[nodiscard]] std::size_t players() const { return oracle_->players(); }
+  [[nodiscard]] std::size_t objects() const { return oracle_->objects(); }
+
+  /// Was (p, o) probed in an earlier round?
+  [[nodiscard]] bool is_posted(PlayerId p, ObjectId o) const {
+    return posted_[p].get(o);
+  }
+  /// The posted value (requires is_posted).
+  [[nodiscard]] bool posted_value(PlayerId p, ObjectId o) const {
+    if (!posted_[p].get(o)) {
+      throw std::logic_error("RoundView: entry not posted yet");
+    }
+    return oracle_->probed_value(p, o);
+  }
+
+  /// Vector posts published in earlier rounds (votes, published
+  /// outputs). Posts made *this* round become visible next round.
+  [[nodiscard]] const Billboard& board() const { return *board_; }
+
+ private:
+  friend class RoundScheduler;
+  RoundView(const ProbeOracle& oracle, const Billboard& board,
+            const std::vector<bits::BitVector>& posted, std::size_t round)
+      : oracle_(&oracle), board_(&board), posted_(posted), round_(round) {}
+
+  const ProbeOracle* oracle_;
+  const Billboard* board_;
+  const std::vector<bits::BitVector>& posted_;
+  std::size_t round_;
+};
+
+/// A vector post queued during a round; applied (made public) when the
+/// round ends.
+struct PendingPost {
+  std::string channel;
+  bits::BitVector vec;
+};
+
+/// A per-player interactive strategy. One instance per player; the
+/// scheduler drives it one probe per round until done() or the round
+/// cap.
+class PlayerStrategy {
+ public:
+  virtual ~PlayerStrategy() = default;
+
+  /// Choose this round's probe (nullopt: idle this round). The view
+  /// exposes only earlier rounds' results.
+  virtual std::optional<ObjectId> next_probe(const RoundView& view) = 0;
+
+  /// Receive this round's probe result (only called if next_probe
+  /// returned an object).
+  virtual void on_result(ObjectId o, bool value) = 0;
+
+  /// Vector posts to publish at the END of this round (default: none).
+  /// Called after next_probe/on_result each round.
+  virtual std::vector<PendingPost> posts() { return {}; }
+
+  /// True once the player has nothing left to do.
+  [[nodiscard]] virtual bool done() const = 0;
+};
+
+struct ScheduleResult {
+  std::size_t rounds = 0;         ///< rounds executed
+  std::size_t idle_probes = 0;    ///< rounds players chose to idle
+  bool all_done = false;          ///< every strategy reported done()
+};
+
+/// Drive one strategy per player in lockstep. Strategies may be null
+/// (that player never probes). Stops when every non-null strategy is
+/// done or after max_rounds.
+class RoundScheduler {
+ public:
+  explicit RoundScheduler(ProbeOracle& oracle);
+
+  ScheduleResult run(std::vector<std::unique_ptr<PlayerStrategy>>& strategies,
+                     std::size_t max_rounds);
+
+  /// The vector-post surface (visible state only; in-round posts are
+  /// buffered until the round ends).
+  [[nodiscard]] const Billboard& board() const { return board_; }
+
+ private:
+  ProbeOracle* oracle_;
+  Billboard board_;
+  // What has been posted up to the end of the previous round; updated
+  // once per round so in-round probes are invisible to peers.
+  std::vector<bits::BitVector> posted_;
+};
+
+}  // namespace tmwia::billboard

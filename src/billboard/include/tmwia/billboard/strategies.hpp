@@ -1,0 +1,82 @@
+// Reference PlayerStrategy implementations for the RoundScheduler:
+//
+//  * SoloStrategy      — probe every object in order; exact after m
+//    rounds. The baseline semantics of "go it alone".
+//  * MimicStrategy     — a billboard-native collaborative heuristic:
+//    spend a sampling budget on random probes, then each round look for
+//    the poster whose posted values agree best with one's own sample
+//    and fill unprobed coordinates from their posts, spot-checking one
+//    disputed coordinate per round. A scheduler-level cousin of the
+//    "collaborate with strangers" idea of [3].
+//
+// Both are deliberately simple: they exist to exercise the synchronous
+// executor and to give downstream users starting points, not to replace
+// the core algorithms.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tmwia/billboard/round_scheduler.hpp"
+#include "tmwia/bits/bitvector.hpp"
+#include "tmwia/rng/rng.hpp"
+
+namespace tmwia::billboard {
+
+/// Probes objects 0..m-1 in order; estimate() is exact once done.
+class SoloStrategy final : public PlayerStrategy {
+ public:
+  explicit SoloStrategy(std::size_t objects) : estimate_(objects) {}
+
+  std::optional<ObjectId> next_probe(const RoundView& view) override;
+  void on_result(ObjectId o, bool value) override;
+  [[nodiscard]] bool done() const override { return next_ >= estimate_.size(); }
+
+  [[nodiscard]] const bits::BitVector& estimate() const { return estimate_; }
+
+ private:
+  bits::BitVector estimate_;
+  std::size_t next_ = 0;
+};
+
+/// Random sampling + best-matching-poster adoption with spot checks.
+class MimicStrategy final : public PlayerStrategy {
+ public:
+  /// `self` is this player's id (to skip its own posts); the sampling
+  /// budget is the number of random probes before mimicking starts;
+  /// `spot_checks` bounds the verification probes afterwards;
+  /// `patience` is how many rounds to idle waiting for enough billboard
+  /// overlap before giving up on finding a match (0: one shot).
+  MimicStrategy(PlayerId self, std::size_t objects, std::size_t sample_budget,
+                std::size_t spot_checks, rng::Rng rng, std::size_t patience = 0);
+
+  std::optional<ObjectId> next_probe(const RoundView& view) override;
+  void on_result(ObjectId o, bool value) override;
+  [[nodiscard]] bool done() const override { return done_; }
+
+  /// Current estimate: own probes where available, the best-matching
+  /// poster's values elsewhere (0 where nobody posted).
+  [[nodiscard]] const bits::BitVector& estimate() const { return estimate_; }
+  [[nodiscard]] std::optional<PlayerId> adopted_from() const { return best_match_; }
+
+ private:
+  void adopt_from_best(const RoundView& view);
+
+  PlayerId self_;
+  std::size_t sample_budget_;
+  std::size_t spot_checks_;
+  rng::Rng rng_;
+
+  std::vector<ObjectId> sample_order_;
+  std::size_t sample_pos_ = 0;
+  std::size_t checks_done_ = 0;
+  std::size_t patience_ = 0;
+
+  bits::BitVector own_probed_;
+  bits::BitVector own_values_;
+  bits::BitVector estimate_;
+  std::optional<PlayerId> best_match_;
+  bool done_ = false;
+};
+
+}  // namespace tmwia::billboard

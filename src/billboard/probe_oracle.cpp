@@ -1,0 +1,100 @@
+#include "tmwia/billboard/probe_oracle.hpp"
+
+namespace tmwia::billboard {
+namespace {
+
+// SplitMix64-style stateless mixer for the sticky/fresh noise draws.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t z = a * 0x9e3779b97f4a7c15ull + b * 0xbf58476d1ce4e5b9ull + c + 1;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+bool bernoulli_hash(std::uint64_t h, double p) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+}
+
+}  // namespace
+
+ProbeOracle::ProbeOracle(const matrix::PreferenceMatrix& truth, NoiseModel noise)
+    : truth_(&truth),
+      noise_(noise),
+      invocations_(truth.players()),
+      charged_(truth.players()),
+      probed_(truth.players(), bits::BitVector(truth.objects())),
+      values_(truth.players(), bits::BitVector(truth.objects())) {}
+
+bool ProbeOracle::noisy_read(PlayerId p, ObjectId o, std::uint64_t invocation) const {
+  const bool truth = truth_->value(p, o);
+  switch (noise_.kind) {
+    case NoiseModel::Kind::kNone:
+      return truth;
+    case NoiseModel::Kind::kSticky:
+      return truth ^ bernoulli_hash(mix(noise_.seed, p, o), noise_.epsilon);
+    case NoiseModel::Kind::kFresh:
+      return truth ^ bernoulli_hash(mix(noise_.seed ^ invocation, p, o), noise_.epsilon);
+  }
+  return truth;
+}
+
+bool ProbeOracle::probe(PlayerId p, ObjectId o) {
+  if (p >= players() || o >= objects()) {
+    throw std::out_of_range("ProbeOracle::probe: player/object out of range");
+  }
+  const auto inv = invocations_[p].fetch_add(1, std::memory_order_relaxed);
+  if (!probed_[p].get(o)) {
+    charged_[p].fetch_add(1, std::memory_order_relaxed);
+    probed_[p].set(o, true);
+  }
+  const bool value = noisy_read(p, o, inv);
+  values_[p].set(o, value);
+  return value;
+}
+
+bool ProbeOracle::is_probed(PlayerId p, ObjectId o) const { return probed_[p].get(o); }
+
+bool ProbeOracle::probed_value(PlayerId p, ObjectId o) const {
+  if (!probed_[p].get(o)) {
+    throw std::logic_error("ProbeOracle::probed_value: entry was never probed");
+  }
+  return values_[p].get(o);
+}
+
+std::uint64_t ProbeOracle::total_invocations() const {
+  std::uint64_t t = 0;
+  for (const auto& c : invocations_) t += c.load(std::memory_order_relaxed);
+  return t;
+}
+
+std::uint64_t ProbeOracle::total_charged() const {
+  std::uint64_t t = 0;
+  for (const auto& c : charged_) t += c.load(std::memory_order_relaxed);
+  return t;
+}
+
+std::uint64_t ProbeOracle::max_invocations() const {
+  std::uint64_t mx = 0;
+  for (const auto& c : invocations_) {
+    mx = std::max(mx, c.load(std::memory_order_relaxed));
+  }
+  return mx;
+}
+
+std::vector<std::uint64_t> ProbeOracle::snapshot() const {
+  std::vector<std::uint64_t> s(players());
+  for (std::size_t p = 0; p < players(); ++p) {
+    s[p] = invocations_[p].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::uint64_t ProbeOracle::rounds_since(const std::vector<std::uint64_t>& before) const {
+  std::uint64_t mx = 0;
+  for (std::size_t p = 0; p < players(); ++p) {
+    mx = std::max(mx, invocations_[p].load(std::memory_order_relaxed) - before[p]);
+  }
+  return mx;
+}
+
+}  // namespace tmwia::billboard

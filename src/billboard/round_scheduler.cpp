@@ -1,0 +1,76 @@
+#include "tmwia/billboard/round_scheduler.hpp"
+
+#include <stdexcept>
+
+namespace tmwia::billboard {
+
+RoundScheduler::RoundScheduler(ProbeOracle& oracle)
+    : oracle_(&oracle),
+      posted_(oracle.players(), bits::BitVector(oracle.objects())) {}
+
+ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>& strategies,
+                                   std::size_t max_rounds) {
+  if (strategies.size() != oracle_->players()) {
+    throw std::invalid_argument("RoundScheduler::run: one strategy slot per player");
+  }
+
+  ScheduleResult res;
+  struct Pending {
+    PlayerId p;
+    ObjectId o;
+  };
+  std::vector<Pending> this_round;
+  std::vector<std::pair<PlayerId, PendingPost>> vector_posts;
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const RoundView view(*oracle_, board_, posted_, round);
+
+    bool any_active = false;
+    this_round.clear();
+    vector_posts.clear();
+    for (PlayerId p = 0; p < strategies.size(); ++p) {
+      auto& s = strategies[p];
+      if (!s || s->done()) continue;
+      any_active = true;
+      const auto choice = s->next_probe(view);
+      if (choice.has_value()) {
+        // Probe immediately (the value is private to the player this
+        // round); defer the public posting to the end of the round so
+        // peers cannot read it early.
+        const bool value = oracle_->probe(p, *choice);
+        s->on_result(*choice, value);
+        this_round.push_back({p, *choice});
+      } else {
+        ++res.idle_probes;
+      }
+      for (auto& post : s->posts()) {
+        vector_posts.emplace_back(p, std::move(post));
+      }
+    }
+
+    if (!any_active) {
+      res.all_done = true;
+      res.rounds = round;
+      return res;
+    }
+    ++res.rounds;
+
+    for (const auto& [p, o] : this_round) {
+      posted_[p].set(o, true);
+    }
+    for (auto& [p, post] : vector_posts) {
+      board_.post(post.channel, p, post.vec);
+    }
+  }
+
+  res.all_done = true;
+  for (const auto& s : strategies) {
+    if (s && !s->done()) {
+      res.all_done = false;
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace tmwia::billboard

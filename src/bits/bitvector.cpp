@@ -1,0 +1,147 @@
+#include "tmwia/bits/bitvector.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace tmwia::bits {
+
+BitVector BitVector::from_string(const std::string& s) {
+  BitVector v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '1') {
+      v.set(i, true);
+    } else if (s[i] != '0') {
+      throw std::invalid_argument("BitVector::from_string: expected '0' or '1'");
+    }
+  }
+  return v;
+}
+
+std::string BitVector::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (get(i)) s[i] = '1';
+  }
+  return s;
+}
+
+std::size_t BitVector::count_ones() const {
+  std::size_t c = 0;
+  for (Word w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+std::size_t BitVector::hamming(const BitVector& other) const {
+  if (size_ != other.size_) {
+    throw std::invalid_argument("BitVector::hamming: size mismatch");
+  }
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    c += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return c;
+}
+
+std::size_t BitVector::hamming_on(const BitVector& other,
+                                  std::span<const std::uint32_t> coords) const {
+  if (size_ != other.size_) {
+    throw std::invalid_argument("BitVector::hamming_on: size mismatch");
+  }
+  std::size_t c = 0;
+  for (std::uint32_t j : coords) {
+    c += static_cast<std::size_t>(get(j) != other.get(j));
+  }
+  return c;
+}
+
+BitVector BitVector::project(std::span<const std::uint32_t> coords) const {
+  BitVector out(coords.size());
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    if (get(coords[i])) out.set(i, true);
+  }
+  return out;
+}
+
+void BitVector::scatter(const BitVector& piece, std::span<const std::uint32_t> coords) {
+  if (piece.size() != coords.size()) {
+    throw std::invalid_argument("BitVector::scatter: piece/coords size mismatch");
+  }
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    set(coords[i], piece.get(i));
+  }
+}
+
+int BitVector::lex_compare(const BitVector& other) const {
+  // Coordinate 0 is the most significant position of the lexicographic
+  // order, but it is stored in the *low* bit of the low word; compare
+  // word by word after bit-reversal would be wasteful, so we locate the
+  // first differing coordinate instead.
+  const std::size_t nw = std::min(words_.size(), other.words_.size());
+  for (std::size_t w = 0; w < nw; ++w) {
+    const Word diff = words_[w] ^ other.words_[w];
+    if (diff != 0) {
+      const int bit = std::countr_zero(diff);
+      const bool mine = (words_[w] >> bit) & 1u;
+      // '0' sorts before '1' at the first differing coordinate.
+      return mine ? 1 : -1;
+    }
+  }
+  if (size_ != other.size_) return size_ < other.size_ ? -1 : 1;
+  return 0;
+}
+
+BitVector& BitVector::operator^=(const BitVector& other) {
+  if (size_ != other.size_) {
+    throw std::invalid_argument("BitVector::operator^=: size mismatch");
+  }
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator&=(const BitVector& other) {
+  if (size_ != other.size_) {
+    throw std::invalid_argument("BitVector::operator&=: size mismatch");
+  }
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator|=(const BitVector& other) {
+  if (size_ != other.size_) {
+    throw std::invalid_argument("BitVector::operator|=: size mismatch");
+  }
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+std::vector<std::uint32_t> BitVector::one_positions() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count_ones());
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    Word x = words_[w];
+    while (x != 0) {
+      const int bit = std::countr_zero(x);
+      out.push_back(static_cast<std::uint32_t>(w * kWordBits + static_cast<std::size_t>(bit)));
+      x &= x - 1;
+    }
+  }
+  return out;
+}
+
+std::uint64_t BitVector::hash() const {
+  std::uint64_t h = 1469598103934665603ull ^ (size_ * 0x9e3779b97f4a7c15ull);
+  for (Word w : words_) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void BitVector::clear_tail() {
+  const std::size_t rem = size_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (Word{1} << rem) - 1;
+  }
+}
+
+}  // namespace tmwia::bits

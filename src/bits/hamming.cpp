@@ -1,0 +1,55 @@
+#include "tmwia/bits/hamming.hpp"
+
+namespace tmwia::bits {
+
+std::size_t diameter(std::span<const BitVector> vs) {
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    for (std::size_t j = i + 1; j < vs.size(); ++j) {
+      d = std::max(d, vs[i].hamming(vs[j]));
+    }
+  }
+  return d;
+}
+
+std::size_t diameter(std::span<const BitVector> vs, std::span<const std::uint32_t> indices) {
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    for (std::size_t j = i + 1; j < indices.size(); ++j) {
+      d = std::max(d, vs[indices[i]].hamming(vs[indices[j]]));
+    }
+  }
+  return d;
+}
+
+std::size_t argmin_dist(std::span<const BitVector> vs, const BitVector& target) {
+  std::size_t best = 0;
+  std::size_t best_d = vs[0].hamming(target);
+  for (std::size_t i = 1; i < vs.size(); ++i) {
+    const std::size_t d = vs[i].hamming(target);
+    if (d < best_d) {
+      best = i;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+std::size_t ball_size(std::span<const BitVector> vs, const TriVector& v, std::size_t D) {
+  std::size_t c = 0;
+  for (const auto& u : vs) {
+    if (v.dtilde(u) <= D) ++c;
+  }
+  return c;
+}
+
+std::vector<std::size_t> ball_members(std::span<const BitVector> vs, const TriVector& v,
+                                      std::size_t D) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (v.dtilde(vs[i]) <= D) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace tmwia::bits

@@ -1,0 +1,122 @@
+// BitVector: a packed, fixed-length vector over {0,1}.
+//
+// This is the fundamental value type of the library: every preference
+// vector v(p) in the paper is a BitVector, and Hamming distance between
+// BitVectors is the paper's dist(.,.) (Definition 1.1). Storage is one
+// bit per coordinate in 64-bit words, so distance computations reduce to
+// XOR + popcount over words.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tmwia::bits {
+
+/// Fixed-length packed bit vector with value semantics.
+///
+/// Coordinates are indexed 0..size()-1. Unused high bits of the last
+/// word are kept zero as a class invariant, which lets popcount-based
+/// operations run over whole words without masking.
+class BitVector {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  /// Empty vector (size 0).
+  BitVector() = default;
+
+  /// Vector of `n` coordinates, all zero.
+  explicit BitVector(std::size_t n) : size_(n), words_(word_count(n), 0) {}
+
+  /// Vector of `n` coordinates, all set to `fill`.
+  BitVector(std::size_t n, bool fill) : BitVector(n) {
+    if (fill) {
+      for (auto& w : words_) w = ~Word{0};
+      clear_tail();
+    }
+  }
+
+  /// Parse from a string of '0'/'1' characters; index 0 is the first char.
+  static BitVector from_string(const std::string& s);
+
+  /// Render as a string of '0'/'1' characters.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] bool get(std::size_t i) const {
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+
+  void set(std::size_t i, bool v) {
+    const Word mask = Word{1} << (i % kWordBits);
+    if (v) {
+      words_[i / kWordBits] |= mask;
+    } else {
+      words_[i / kWordBits] &= ~mask;
+    }
+  }
+
+  void flip(std::size_t i) { words_[i / kWordBits] ^= Word{1} << (i % kWordBits); }
+
+  /// Number of 1-coordinates.
+  [[nodiscard]] std::size_t count_ones() const;
+
+  /// Hamming distance to `other`. Requires equal sizes.
+  [[nodiscard]] std::size_t hamming(const BitVector& other) const;
+
+  /// Hamming distance restricted to the coordinate subset `coords`
+  /// (dist|_S in Notation 4.1). Coordinates must be < size().
+  [[nodiscard]] std::size_t hamming_on(const BitVector& other,
+                                       std::span<const std::uint32_t> coords) const;
+
+  /// Projection v|_S : the |S|-coordinate vector whose i-th entry is
+  /// this->get(coords[i]) (Notation 4.1).
+  [[nodiscard]] BitVector project(std::span<const std::uint32_t> coords) const;
+
+  /// Inverse of project: write the entries of `piece` back into `*this`
+  /// at positions `coords`. Used to stitch per-part outputs (Small
+  /// Radius step 1c, Large Radius step 4).
+  void scatter(const BitVector& piece, std::span<const std::uint32_t> coords);
+
+  /// Lexicographic comparison by coordinate order (coordinate 0 most
+  /// significant), as required by Select's tie-breaking rule (Thm 3.2:
+  /// "outputs the lexicographically first vector").
+  [[nodiscard]] int lex_compare(const BitVector& other) const;
+
+  bool operator==(const BitVector& other) const = default;
+
+  /// In-place XOR; requires equal sizes. Useful to materialize the
+  /// disagreement set between two vectors.
+  BitVector& operator^=(const BitVector& other);
+  friend BitVector operator^(BitVector a, const BitVector& b) { return a ^= b; }
+
+  BitVector& operator&=(const BitVector& other);
+  friend BitVector operator&(BitVector a, const BitVector& b) { return a &= b; }
+
+  BitVector& operator|=(const BitVector& other);
+  friend BitVector operator|(BitVector a, const BitVector& b) { return a |= b; }
+
+  /// Indices of the 1-coordinates, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> one_positions() const;
+
+  /// Raw word storage (low word first). The tail invariant holds.
+  [[nodiscard]] std::span<const Word> words() const { return words_; }
+
+  /// A 64-bit content hash (FNV-1a over words, mixed with the size).
+  [[nodiscard]] std::uint64_t hash() const;
+
+  static std::size_t word_count(std::size_t n) { return (n + kWordBits - 1) / kWordBits; }
+
+ private:
+  void clear_tail();
+
+  std::size_t size_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace tmwia::bits

@@ -1,0 +1,37 @@
+// Free functions over collections of bit vectors: the distance
+// aggregates the paper's definitions are phrased in (diameter D(P*),
+// discrepancy, balls).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tmwia/bits/bitvector.hpp"
+#include "tmwia/bits/trivector.hpp"
+
+namespace tmwia::bits {
+
+/// dist(x, y): plain Hamming distance (Definition 1.1).
+inline std::size_t dist(const BitVector& a, const BitVector& b) { return a.hamming(b); }
+
+/// Hamming diameter D(V) = max over pairs. O(|V|^2) — audit tool, not a
+/// hot path. Returns 0 for |V| <= 1.
+std::size_t diameter(std::span<const BitVector> vs);
+
+/// Hamming diameter of the sub-multiset given by `indices`.
+std::size_t diameter(std::span<const BitVector> vs, std::span<const std::uint32_t> indices);
+
+/// Index of the vector in `vs` closest to `target` (ties: lowest index).
+/// Precondition: vs non-empty.
+std::size_t argmin_dist(std::span<const BitVector> vs, const BitVector& target);
+
+/// |ball(v, D)| under d-tilde: how many vectors of `vs` lie within
+/// distance D of `v` ignoring ? coordinates (Coalesce step 2a).
+std::size_t ball_size(std::span<const BitVector> vs, const TriVector& v, std::size_t D);
+
+/// Indices of vs-members inside ball(v, D) under d-tilde.
+std::vector<std::size_t> ball_members(std::span<const BitVector> vs, const TriVector& v,
+                                      std::size_t D);
+
+}  // namespace tmwia::bits

@@ -1,0 +1,129 @@
+#include "tmwia/bits/trivector.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace tmwia::bits {
+
+TriVector TriVector::from_string(const std::string& s) {
+  TriVector t(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    switch (s[i]) {
+      case '0':
+        t.set(i, Tri::kZero);
+        break;
+      case '1':
+        t.set(i, Tri::kOne);
+        break;
+      case '?':
+        t.set(i, Tri::kUnknown);
+        break;
+      default:
+        throw std::invalid_argument("TriVector::from_string: expected '0', '1' or '?'");
+    }
+  }
+  return t;
+}
+
+std::string TriVector::to_string() const {
+  std::string s(size(), '?');
+  for (std::size_t i = 0; i < size(); ++i) {
+    switch (get(i)) {
+      case Tri::kZero:
+        s[i] = '0';
+        break;
+      case Tri::kOne:
+        s[i] = '1';
+        break;
+      case Tri::kUnknown:
+        break;
+    }
+  }
+  return s;
+}
+
+std::size_t TriVector::dtilde(const TriVector& other) const {
+  if (size() != other.size()) {
+    throw std::invalid_argument("TriVector::dtilde: size mismatch");
+  }
+  const auto va = value_.words();
+  const auto vb = other.value_.words();
+  const auto ka = known_.words();
+  const auto kb = other.known_.words();
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    c += static_cast<std::size_t>(std::popcount((va[i] ^ vb[i]) & ka[i] & kb[i]));
+  }
+  return c;
+}
+
+std::size_t TriVector::dtilde(const BitVector& other) const {
+  if (size() != other.size()) {
+    throw std::invalid_argument("TriVector::dtilde: size mismatch");
+  }
+  const auto va = value_.words();
+  const auto vb = other.words();
+  const auto ka = known_.words();
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    c += static_cast<std::size_t>(std::popcount((va[i] ^ vb[i]) & ka[i]));
+  }
+  return c;
+}
+
+std::size_t TriVector::dtilde_on(const TriVector& other,
+                                 std::span<const std::uint32_t> coords) const {
+  std::size_t c = 0;
+  for (std::uint32_t j : coords) {
+    const Tri a = get(j);
+    const Tri b = other.get(j);
+    if (a != Tri::kUnknown && b != Tri::kUnknown && a != b) ++c;
+  }
+  return c;
+}
+
+TriVector TriVector::merge(const TriVector& other) const {
+  if (size() != other.size()) {
+    throw std::invalid_argument("TriVector::merge: size mismatch");
+  }
+  TriVector out(size());
+  // Known in the result iff known in both AND the values agree; where
+  // the result is known its value equals either operand's value.
+  BitVector differ = value_ ^ other.value_;     // 1 where value bits differ
+  out.known_ = known_ & other.known_;
+  out.known_ ^= differ & out.known_;            // drop both-known disagreements
+  out.value_ = value_ & out.known_;
+  return out;
+}
+
+TriVector TriVector::project(std::span<const std::uint32_t> coords) const {
+  TriVector out(coords.size());
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    out.set(i, get(coords[i]));
+  }
+  return out;
+}
+
+BitVector TriVector::fill_unknown(bool fill) const {
+  if (!fill) {
+    return value_ & known_;
+  }
+  BitVector unknown = known_;
+  // complement of known within the size: use XOR against all-ones
+  BitVector ones(size(), true);
+  unknown ^= ones;  // 1 where ?
+  return (value_ & known_) | unknown;
+}
+
+int TriVector::lex_compare(const TriVector& other) const {
+  const std::size_t n = std::min(size(), other.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto a = static_cast<std::uint8_t>(get(i));
+    const auto b = static_cast<std::uint8_t>(other.get(i));
+    if (a != b) return a < b ? -1 : 1;
+  }
+  if (size() != other.size()) return size() < other.size() ? -1 : 1;
+  return 0;
+}
+
+}  // namespace tmwia::bits

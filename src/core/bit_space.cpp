@@ -1,0 +1,26 @@
+#include "tmwia/core/bit_space.hpp"
+
+namespace tmwia::core {
+
+std::vector<bits::BitVector> zero_radius_bits(billboard::ProbeOracle& oracle,
+                                              billboard::Billboard* board,
+                                              const std::vector<PlayerId>& players,
+                                              const std::vector<std::uint32_t>& objects,
+                                              double alpha, const Params& params,
+                                              rng::Rng rng, std::string channel_prefix) {
+  BitSpace space(oracle, board, std::move(channel_prefix));
+  const auto raw =
+      zero_radius(space, players, objects, alpha, params, std::move(rng), players.size());
+  std::vector<bits::BitVector> out;
+  out.reserve(raw.size());
+  for (const auto& row : raw) {
+    bits::BitVector v(row.size());
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (row[j] != 0) v.set(j, true);
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace tmwia::core

@@ -1,0 +1,119 @@
+#include "tmwia/core/budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tmwia/core/small_radius.hpp"
+#include "tmwia/core/zero_radius.hpp"
+
+namespace tmwia::core {
+namespace {
+
+double log2n(std::size_t n) {
+  return std::log2(static_cast<double>(std::max<std::size_t>(n, 4)));
+}
+
+double effective_K(std::size_t n, const Params& params) {
+  return params.sr_K != 0 ? static_cast<double>(params.sr_K) : std::ceil(log2n(n));
+}
+
+}  // namespace
+
+double estimated_zero_radius_rounds(double alpha, std::size_t n, std::size_t m,
+                                    const Params& params) {
+  // Leaf probes: a leaf has at most the threshold's worth of objects on
+  // the player's path (halving from m, capped at m itself), plus one
+  // Select(<= 2/(vote_frac*alpha) candidates, D = 0) per level: each
+  // probe there eliminates at least one candidate.
+  const double leaf = std::min<double>(
+      static_cast<double>(m),
+      2.0 * static_cast<double>(zero_radius_leaf_threshold(n, alpha, params)));
+  const double candidates_per_level = 1.0 / (params.zr_vote_frac * alpha);
+  return leaf + log2n(n) * candidates_per_level;
+}
+
+double estimated_small_radius_rounds(double alpha, std::size_t D, std::size_t n,
+                                     std::size_t m, const Params& params) {
+  const double K = effective_K(n, params);
+  const double s = static_cast<double>(
+      std::min(small_radius_parts(D, params), std::max<std::size_t>(1, m)));
+  // Per iteration: s Zero Radius runs at alpha/5 over m/s objects each
+  // (their leaves are capped by the part size), plus s Selects with
+  // bound D over <= 5/alpha candidates, plus the final Select.
+  const double part = static_cast<double>(m) / s;
+  const double zr_leaf = std::min(
+      part, 2.0 * static_cast<double>(zero_radius_leaf_threshold(
+                      n, alpha / params.sr_vote_div, params)));
+  const double per_part =
+      zr_leaf + log2n(n) * params.sr_vote_div / (params.zr_vote_frac * alpha);
+  const double select_cost =
+      (params.sr_vote_div / alpha) * static_cast<double>(D + 1);
+  const double final_select =
+      K * (params.sr_final_mult * static_cast<double>(D) + 1.0);
+  return K * s * (per_part + select_cost) + final_select;
+}
+
+double estimated_large_radius_rounds(double alpha, std::size_t D, std::size_t n,
+                                     std::size_t m, const Params& params) {
+  const double ln = log2n(n);
+  const double L = std::max(
+      1.0, std::ceil(params.lr_parts_c * static_cast<double>(D) / std::max(1.0, ln)));
+  const double lambda =
+      std::min<double>(static_cast<double>(D), std::ceil(params.lr_lambda_mult * ln));
+  // Step 2: players join `copies` groups, each group runs Small Radius
+  // over ~m/L objects with alpha/2 and bound lambda.
+  const double copies = std::max(
+      1.0, std::ceil(params.lr_players_mult * ln / alpha * L / static_cast<double>(n)));
+  const double group_m = static_cast<double>(m) / L;
+  const double step2 =
+      copies * estimated_small_radius_rounds(
+                   alpha / 2.0, static_cast<std::size_t>(lambda), n,
+                   static_cast<std::size_t>(std::max(1.0, group_m)), params);
+  // Step 4: a Zero Radius over L virtual objects whose probes cost
+  // |B| * (select bound + 1) primitive probes each.
+  const double coal_D = params.lr_coalesce_mult * std::max(1.0, lambda);
+  const double virtual_probe =
+      (1.0 / alpha) * (params.lr_select_mult * coal_D + 1.0);
+  const double step4 =
+      estimated_zero_radius_rounds(alpha, n, static_cast<std::size_t>(L), params) *
+      virtual_probe;
+  return step2 + step4;
+}
+
+double estimated_unknown_d_rounds(double alpha, std::size_t n, std::size_t m,
+                                  const Params& params) {
+  const double ln = log2n(n);
+  const auto small_cutoff =
+      static_cast<std::size_t>(std::ceil(params.lr_lambda_mult * ln));
+
+  double total = estimated_zero_radius_rounds(alpha, n, m, params);  // D = 0 guess
+  for (std::size_t d = 1; d < m; d *= 2) {
+    if (d <= small_cutoff) {
+      total += estimated_small_radius_rounds(alpha, d, n, m, params);
+    } else {
+      total += estimated_large_radius_rounds(alpha, d, n, m, params);
+    }
+  }
+  // The final RSelect over the O(log m) candidates.
+  const double guesses = std::floor(std::log2(static_cast<double>(std::max<std::size_t>(
+                             m, 2)))) +
+                         1.0;
+  total += guesses * (guesses - 1.0) / 2.0 * std::ceil(params.rs_c * log2n(n));
+  return total;
+}
+
+std::optional<double> smallest_alpha_for_budget(std::uint64_t round_budget, std::size_t n,
+                                                std::size_t m, const Params& params) {
+  std::optional<double> best;
+  for (double alpha = 1.0; alpha * static_cast<double>(n) >= 1.0; alpha /= 2.0) {
+    if (estimated_unknown_d_rounds(alpha, n, m, params) <=
+        static_cast<double>(round_budget)) {
+      best = alpha;  // keep halving: smaller alpha = more inclusive
+    } else {
+      break;  // cost is monotone increasing as alpha shrinks
+    }
+  }
+  return best;
+}
+
+}  // namespace tmwia::core

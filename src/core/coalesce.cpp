@@ -1,0 +1,92 @@
+#include "tmwia/core/coalesce.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tmwia::core {
+
+CoalesceResult coalesce(const std::vector<bits::BitVector>& vectors, std::size_t D,
+                        std::size_t min_ball, double merge_mult) {
+  CoalesceResult res;
+  if (vectors.empty()) return res;
+  if (min_ball == 0) min_ball = 1;
+
+  // Work on the live multiset as index lists; balls are computed over
+  // the *current* V (vectors removed in 2a/2c no longer populate
+  // anyone's ball).
+  std::vector<std::size_t> live(vectors.size());
+  for (std::size_t i = 0; i < live.size(); ++i) live[i] = i;
+
+  std::vector<bits::TriVector> a;  // the representative set A (step 2)
+
+  while (!live.empty()) {
+    // Step 2a: repeatedly drop vectors whose ball is under-populated.
+    // (One sweep can expose new under-populated vectors, so iterate to
+    // a fixed point.)
+    bool changed = true;
+    while (changed && !live.empty()) {
+      changed = false;
+      std::vector<std::size_t> kept;
+      kept.reserve(live.size());
+      for (std::size_t i : live) {
+        std::size_t ball = 0;
+        for (std::size_t j : live) {
+          if (vectors[i].hamming(vectors[j]) <= D) ++ball;
+        }
+        if (ball >= min_ball) {
+          kept.push_back(i);
+        } else {
+          changed = true;
+        }
+      }
+      live.swap(kept);
+    }
+    if (live.empty()) break;
+
+    // Step 2b: lexicographically first remaining vector.
+    std::size_t first = live[0];
+    for (std::size_t i : live) {
+      if (vectors[i].lex_compare(vectors[first]) < 0) first = i;
+    }
+
+    // Step 2c: add it to A, remove its ball from V.
+    a.push_back(bits::TriVector::from_bits(vectors[first]));
+    std::vector<std::size_t> kept;
+    kept.reserve(live.size());
+    for (std::size_t j : live) {
+      if (vectors[first].hamming(vectors[j]) > D) kept.push_back(j);
+    }
+    live.swap(kept);
+  }
+
+  res.pre_merge_count = a.size();
+
+  // Step 4: merge near candidates (dtilde <= merge_mult * D) until no
+  // two remain close; '?' marks each merged disagreement.
+  const auto merge_bound =
+      static_cast<std::size_t>(std::floor(merge_mult * static_cast<double>(D)));
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (std::size_t i = 0; i < a.size() && !merged; ++i) {
+      for (std::size_t j = i + 1; j < a.size() && !merged; ++j) {
+        if (a[i].dtilde(a[j]) <= merge_bound) {
+          bits::TriVector m = a[i].merge(a[j]);
+          a.erase(a.begin() + static_cast<std::ptrdiff_t>(j));
+          a.erase(a.begin() + static_cast<std::ptrdiff_t>(i));
+          a.push_back(std::move(m));
+          merged = true;
+        }
+      }
+    }
+  }
+
+  std::sort(a.begin(), a.end(), [](const bits::TriVector& x, const bits::TriVector& y) {
+    return x.lex_compare(y) < 0;
+  });
+  res.candidates = std::move(a);
+  return res;
+}
+
+}  // namespace tmwia::core

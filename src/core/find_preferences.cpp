@@ -1,0 +1,149 @@
+#include "tmwia/core/find_preferences.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "tmwia/core/bit_space.hpp"
+#include "tmwia/core/large_radius.hpp"
+#include "tmwia/core/rselect.hpp"
+#include "tmwia/core/small_radius.hpp"
+#include "tmwia/engine/thread_pool.hpp"
+
+namespace tmwia::core {
+namespace {
+
+std::vector<PlayerId> all_players(const billboard::ProbeOracle& oracle) {
+  std::vector<PlayerId> p(oracle.players());
+  std::iota(p.begin(), p.end(), 0u);
+  return p;
+}
+
+std::vector<std::uint32_t> all_objects(const billboard::ProbeOracle& oracle) {
+  std::vector<std::uint32_t> o(oracle.objects());
+  std::iota(o.begin(), o.end(), 0u);
+  return o;
+}
+
+}  // namespace
+
+FindPreferencesResult find_preferences(billboard::ProbeOracle& oracle,
+                                       billboard::Billboard* board, double alpha,
+                                       std::size_t D, const Params& params, rng::Rng rng) {
+  const auto players = all_players(oracle);
+  const auto objects = all_objects(oracle);
+  const auto before = oracle.snapshot();
+  const auto probes_before = oracle.total_invocations();
+
+  FindPreferencesResult res;
+  const double log_n = std::log2(static_cast<double>(std::max<std::size_t>(players.size(), 4)));
+  const auto small_cutoff =
+      static_cast<std::size_t>(std::ceil(params.lr_lambda_mult * log_n));
+
+  if (D == 0) {
+    res.branch = Branch::kZeroRadius;
+    res.outputs = zero_radius_bits(oracle, board, players, objects, alpha, params,
+                                   rng.split(0x2e20), "main/zr");
+  } else if (D <= small_cutoff) {
+    res.branch = Branch::kSmallRadius;
+    res.outputs = small_radius(oracle, board, players, objects, alpha, D, params,
+                               rng.split(0x57a11), players.size())
+                      .outputs;
+  } else {
+    res.branch = Branch::kLargeRadius;
+    res.outputs =
+        large_radius(oracle, board, players, objects, alpha, D, params, rng.split(0x1a26e))
+            .outputs;
+  }
+
+  res.rounds = oracle.rounds_since(before);
+  res.total_probes = oracle.total_invocations() - probes_before;
+  return res;
+}
+
+UnknownDResult find_preferences_unknown_d(billboard::ProbeOracle& oracle,
+                                          billboard::Billboard* board, double alpha,
+                                          const Params& params, rng::Rng rng) {
+  const auto players = all_players(oracle);
+  const auto objects = all_objects(oracle);
+  const std::size_t m = objects.size();
+  const auto before = oracle.snapshot();
+  const auto probes_before = oracle.total_invocations();
+
+  UnknownDResult res;
+  res.guesses.push_back(0);
+  for (std::size_t d = 1; d < m; d *= 2) res.guesses.push_back(d);
+
+  // One main-algorithm run per guess. Outputs are posted publicly (via
+  // the per-run channels), then each player privately picks the
+  // candidate closest to its own vector with RSelect — no distance
+  // bound is needed (Section 6.1).
+  std::vector<std::vector<bits::BitVector>> versions;
+  versions.reserve(res.guesses.size());
+  for (std::size_t gi = 0; gi < res.guesses.size(); ++gi) {
+    versions.push_back(
+        find_preferences(oracle, board, alpha, res.guesses[gi], params, rng.split(0xD0, gi))
+            .outputs);
+  }
+
+  res.outputs.assign(players.size(), bits::BitVector(m));
+  res.chosen_d.assign(players.size(), 0);
+  engine::parallel_for(0, players.size(), [&](std::size_t i) {
+    const PlayerId p = players[i];
+    std::vector<bits::BitVector> candidates;
+    candidates.reserve(versions.size());
+    for (const auto& v : versions) candidates.push_back(v[i]);
+    rng::Rng prng = rng.split(0x9e1ec7, p);
+    const auto sel = rselect_closest(
+        candidates, players.size(),
+        [&](std::uint32_t j) { return oracle.probe(p, objects[j]); }, prng, params);
+    res.outputs[i] = std::move(candidates[sel.index]);
+    res.chosen_d[i] = res.guesses[sel.index];
+  });
+
+  res.rounds = oracle.rounds_since(before);
+  res.total_probes = oracle.total_invocations() - probes_before;
+  return res;
+}
+
+AnytimeResult anytime(billboard::ProbeOracle& oracle, billboard::Billboard* board,
+                      std::uint64_t round_budget, const Params& params, rng::Rng rng) {
+  const auto players = all_players(oracle);
+  const auto objects = all_objects(oracle);
+  const auto before = oracle.snapshot();
+  const auto probes_before = oracle.total_invocations();
+
+  AnytimeResult res;
+  res.outputs.assign(players.size(), bits::BitVector(objects.size()));
+
+  bool have_previous = false;
+  for (std::size_t phase = 1;; ++phase) {
+    const double alpha = std::pow(0.5, static_cast<double>(phase));
+    if (alpha * static_cast<double>(players.size()) < 1.0) break;
+
+    auto run = find_preferences_unknown_d(oracle, board, alpha, params, rng.split(0xA17, phase));
+
+    if (!have_previous) {
+      res.outputs = std::move(run.outputs);
+      have_previous = true;
+    } else {
+      // Keep the better of old/new per player (RSelect with 2
+      // candidates).
+      engine::parallel_for(0, players.size(), [&](std::size_t i) {
+        const PlayerId p = players[i];
+        std::vector<bits::BitVector> candidates{res.outputs[i], run.outputs[i]};
+        rng::Rng prng = rng.split(0xbe57, phase, p);
+        const auto sel = rselect_closest(
+            candidates, players.size(),
+            [&](std::uint32_t j) { return oracle.probe(p, objects[j]); }, prng, params);
+        if (sel.index == 1) res.outputs[i] = std::move(run.outputs[i]);
+      });
+    }
+
+    res.phases.push_back(AnytimePhase{alpha, oracle.rounds_since(before),
+                                      oracle.total_invocations() - probes_before});
+    if (oracle.rounds_since(before) >= round_budget) break;
+  }
+  return res;
+}
+
+}  // namespace tmwia::core

@@ -1,0 +1,92 @@
+#include "tmwia/core/good_object.hpp"
+
+#include <algorithm>
+
+#include "tmwia/bits/bitvector.hpp"
+#include "tmwia/rng/partition.hpp"
+
+namespace tmwia::core {
+
+GoodObjectResult good_object(billboard::ProbeOracle& oracle, const GoodObjectParams& params,
+                             rng::Rng rng) {
+  const std::size_t n = oracle.players();
+  const std::size_t m = oracle.objects();
+  const std::size_t max_rounds = params.max_rounds != 0 ? params.max_rounds : 4 * m;
+
+  GoodObjectResult res;
+  res.found.assign(n, std::nullopt);
+  const auto probes_before = oracle.total_invocations();
+
+  // The billboard's recommendation list: distinct objects someone
+  // marked good, in posting order. Sampling uniformly from it is the
+  // "exploit" arm.
+  std::vector<ObjectId> recommendations;
+  bits::BitVector recommended(m);
+
+  // Per-player probe history so "explore" draws fresh objects. A
+  // shuffled private permutation gives uniform-without-replacement
+  // exploration in O(1) per draw.
+  std::vector<std::vector<ObjectId>> explore_order(n);
+  std::vector<std::size_t> explore_pos(n, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    auto& order = explore_order[p];
+    order.resize(m);
+    for (std::size_t o = 0; o < m; ++o) order[o] = static_cast<ObjectId>(o);
+    rng::Rng prng = rng.split(0x60D, p);
+    rng::shuffle(order, prng);
+  }
+
+  std::vector<PlayerId> unsatisfied;
+  for (std::size_t p = 0; p < n; ++p) unsatisfied.push_back(static_cast<PlayerId>(p));
+
+  std::size_t round = 0;
+  while (!unsatisfied.empty() && round < max_rounds) {
+    ++round;
+    // Recommendations posted this round become visible next round
+    // (billboard semantics: everyone reads, then everyone writes).
+    std::vector<ObjectId> new_recs;
+    std::vector<PlayerId> still;
+    still.reserve(unsatisfied.size());
+
+    for (PlayerId p : unsatisfied) {
+      rng::Rng prng = rng.split(round, p);
+      ObjectId target;
+      const bool explore =
+          recommendations.empty() || prng.uniform01() < params.explore_prob;
+      if (explore) {
+        if (explore_pos[p] >= m) {
+          continue;  // probed everything, likes nothing
+        }
+        target = explore_order[p][explore_pos[p]++];
+      } else {
+        target = recommendations[prng.uniform(recommendations.size())];
+      }
+
+      if (oracle.probe(p, target)) {
+        res.found[p] = target;
+        if (!recommended.get(target)) {
+          recommended.set(target, true);
+          new_recs.push_back(target);
+        }
+      } else {
+        still.push_back(p);
+      }
+    }
+    for (ObjectId o : new_recs) recommendations.push_back(o);
+    unsatisfied.swap(still);
+
+    // Players whose exploration is exhausted and who cannot be helped
+    // by recommendations would loop forever; drop them once they have
+    // probed every object.
+    unsatisfied.erase(std::remove_if(unsatisfied.begin(), unsatisfied.end(),
+                                     [&](PlayerId p) { return explore_pos[p] >= m; }),
+                      unsatisfied.end());
+  }
+
+  res.rounds = round;
+  res.total_probes = oracle.total_invocations() - probes_before;
+  res.unsatisfied = unsatisfied.size();
+  return res;
+}
+
+}  // namespace tmwia::core

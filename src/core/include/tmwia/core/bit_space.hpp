@@ -1,0 +1,92 @@
+// BitSpace: the primitive object space — values are the 0/1 grades of
+// the hidden preference matrix, probed through ProbeOracle and mirrored
+// onto the shared Billboard.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tmwia/billboard/billboard.hpp"
+#include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/core/params.hpp"
+#include "tmwia/core/zero_radius.hpp"
+
+namespace tmwia::core {
+
+/// Adapter satisfying the Zero Radius Space concept over primitive
+/// objects.
+class BitSpace {
+ public:
+  using Value = std::uint8_t;  // 0/1 grade
+
+  /// `channel_prefix` namespaces the billboard channels of this run so
+  /// that nested/parallel Zero Radius executions do not collide.
+  BitSpace(billboard::ProbeOracle& oracle, billboard::Billboard* board = nullptr,
+           std::string channel_prefix = "zr")
+      : oracle_(&oracle), board_(board), prefix_(std::move(channel_prefix)) {}
+
+  Value probe(PlayerId p, std::uint32_t object) {
+    return oracle_->probe(p, object) ? Value{1} : Value{0};
+  }
+
+  /// Mirror a player's published value vector to the billboard (posted
+  /// as a packed BitVector on the given channel).
+  void publish(std::string_view channel, PlayerId p, std::span<const Value> values) {
+    if (board_ == nullptr) return;
+    bits::BitVector v(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (values[i] != 0) v.set(i, true);
+    }
+    board_->post(prefix_ + "/" + std::string(channel), p, v);
+  }
+
+  [[nodiscard]] billboard::ProbeOracle& oracle() { return *oracle_; }
+
+  /// Mark players as Byzantine: from now on, whatever they *publish*
+  /// into a vote (Zero Radius step 4) is replaced by the projection of
+  /// `forged` onto the vote's object set — the coordinated fake-
+  /// candidate attack (all liars push the same vector, the strongest
+  /// way to cross the popularity threshold). Their probe results and
+  /// own outputs are untouched: in the model, probe results posted on
+  /// the billboard are ground truth; only derived claims can lie.
+  void set_byzantine(std::vector<PlayerId> liars, bits::BitVector forged) {
+    byzantine_ = std::move(liars);
+    std::sort(byzantine_.begin(), byzantine_.end());
+    forged_ = std::move(forged);
+  }
+
+  /// Zero Radius voting hook (see zero_radius.hpp).
+  void corrupt_posts(const std::vector<PlayerId>& posters,
+                     std::span<const std::uint32_t> object_ids,
+                     std::vector<std::vector<Value>>& posts) {
+    if (byzantine_.empty()) return;
+    for (std::size_t i = 0; i < posters.size(); ++i) {
+      if (!std::binary_search(byzantine_.begin(), byzantine_.end(), posters[i])) continue;
+      for (std::size_t j = 0; j < object_ids.size(); ++j) {
+        posts[i][j] = forged_.get(object_ids[j]) ? Value{1} : Value{0};
+      }
+    }
+  }
+
+ private:
+  billboard::ProbeOracle* oracle_;
+  billboard::Billboard* board_;
+  std::string prefix_;
+  std::vector<PlayerId> byzantine_;
+  bits::BitVector forged_;
+};
+
+/// Zero Radius over primitive objects, returning packed BitVectors
+/// aligned with `objects` (row i belongs to players[i]).
+std::vector<bits::BitVector> zero_radius_bits(billboard::ProbeOracle& oracle,
+                                              billboard::Billboard* board,
+                                              const std::vector<PlayerId>& players,
+                                              const std::vector<std::uint32_t>& objects,
+                                              double alpha, const Params& params,
+                                              rng::Rng rng, std::string channel_prefix = "zr");
+
+}  // namespace tmwia::core

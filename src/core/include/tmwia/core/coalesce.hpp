@@ -1,0 +1,42 @@
+// Algorithm Coalesce (Fig. 6): probe-free clustering of the per-group
+// outputs in Large Radius step 3.
+//
+//   Input: a multiset V of n binary vectors, a distance parameter D and
+//   a frequency parameter alpha (as a minimum ball population count).
+//   Output: at most 1/alpha vectors over {0,1,?}.
+//
+// Theorem 5.3 guarantees: if some VT subset of V of size >= alpha*n has
+// pairwise distance <= D, then the output contains exactly one vector
+// v* that is closest to every member of VT, with dtilde(v*, v) <= 2D
+// and at most 5D/alpha ?-entries.
+//
+// The algorithm is deterministic and involves no probing, so all
+// players compute identical outputs from the billboard contents.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tmwia/bits/bitvector.hpp"
+#include "tmwia/bits/trivector.hpp"
+#include "tmwia/core/params.hpp"
+
+namespace tmwia::core {
+
+struct CoalesceResult {
+  /// The candidate set B (at most ceil(1/alpha-ish) vectors, sorted
+  /// lexicographically for determinism).
+  std::vector<bits::TriVector> candidates;
+  /// Size of the pre-merge representative set A (diagnostics).
+  std::size_t pre_merge_count = 0;
+};
+
+/// Run Coalesce on the multiset `vectors` with distance parameter `D`.
+/// `min_ball` is the population threshold alpha*n of step 2a (callers
+/// translate their frequency parameter to an absolute count). The merge
+/// loop of step 4 joins candidates with dtilde <= merge_mult * D
+/// (paper: 5).
+CoalesceResult coalesce(const std::vector<bits::BitVector>& vectors, std::size_t D,
+                        std::size_t min_ball, double merge_mult = 5.0);
+
+}  // namespace tmwia::core

@@ -1,0 +1,84 @@
+// The main algorithm (Fig. 1) and the Section 6 extensions.
+//
+//  * find_preferences            — known (alpha, D): dispatch to
+//    Zero/Small/Large Radius by the size of D.
+//  * find_preferences_unknown_d  — known alpha, unknown D: run the main
+//    algorithm with guesses D = 0, 1, 2, 4, ..., m and let each player
+//    pick among the O(log m) resulting candidates with RSelect
+//    (Section 6.1). Costs a log factor, loses a constant in quality —
+//    this is the algorithm of Theorem 1.1.
+//  * anytime                     — unknown alpha too: phase j reruns
+//    the unknown-D algorithm with alpha = 2^-j; at any stopping point
+//    the output quality is close to the best achievable for the probes
+//    spent so far ("anytime algorithm", Section 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tmwia/billboard/billboard.hpp"
+#include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/bits/bitvector.hpp"
+#include "tmwia/core/params.hpp"
+#include "tmwia/rng/rng.hpp"
+
+namespace tmwia::core {
+
+using matrix::PlayerId;
+
+/// Which branch of Fig. 1 ran.
+enum class Branch : std::uint8_t { kZeroRadius, kSmallRadius, kLargeRadius };
+
+struct FindPreferencesResult {
+  /// Output vector per player (aligned with `players`, coordinates in
+  /// `objects` order).
+  std::vector<bits::BitVector> outputs;
+  Branch branch = Branch::kZeroRadius;
+  /// Lockstep rounds this call consumed: max over players of probe
+  /// invocations during the call.
+  std::uint64_t rounds = 0;
+  /// Total probe invocations across players during the call.
+  std::uint64_t total_probes = 0;
+};
+
+/// Fig. 1: main algorithm for known alpha and D over all players and
+/// all objects of the oracle's matrix.
+FindPreferencesResult find_preferences(billboard::ProbeOracle& oracle,
+                                       billboard::Billboard* board, double alpha,
+                                       std::size_t D, const Params& params, rng::Rng rng);
+
+struct UnknownDResult {
+  std::vector<bits::BitVector> outputs;
+  /// The D guess whose candidate each player adopted.
+  std::vector<std::size_t> chosen_d;
+  std::uint64_t rounds = 0;
+  std::uint64_t total_probes = 0;
+  /// The guesses that were run (0, 1, 2, 4, ...).
+  std::vector<std::size_t> guesses;
+};
+
+/// Section 6: known alpha, unknown D (the Theorem 1.1 algorithm).
+UnknownDResult find_preferences_unknown_d(billboard::ProbeOracle& oracle,
+                                          billboard::Billboard* board, double alpha,
+                                          const Params& params, rng::Rng rng);
+
+struct AnytimePhase {
+  double alpha = 1.0;
+  std::uint64_t rounds = 0;          ///< cumulative rounds after this phase
+  std::uint64_t total_probes = 0;    ///< cumulative probes after this phase
+};
+
+struct AnytimeResult {
+  std::vector<bits::BitVector> outputs;
+  std::vector<AnytimePhase> phases;
+};
+
+/// Section 6: unknown alpha and D. Runs phases alpha = 1/2, 1/4, ...
+/// until the per-player round budget is exhausted; after each phase,
+/// each player keeps the better of (previous output, new output) via
+/// RSelect. The returned phase log gives quality checkpoints for the
+/// anytime claim (experiment E10).
+AnytimeResult anytime(billboard::ProbeOracle& oracle, billboard::Billboard* board,
+                      std::uint64_t round_budget, const Params& params, rng::Rng rng);
+
+}  // namespace tmwia::core

@@ -1,0 +1,59 @@
+// The "one good recommendation" problem of Awerbuch, Patt-Shamir,
+// Peleg and Tuttle [4] (SODA'05), which this paper generalizes: instead
+// of reconstructing the whole preference vector, each player only needs
+// to find *some* object it likes. [4] shows simple combinatorial
+// algorithms achieve O(m + n log |P|) total probes for any player set P
+// sharing a commonly-liked object, with no assumptions on preferences.
+//
+// We implement the explore/exploit billboard scheme at the heart of
+// those algorithms: an unsatisfied player flips a coin each round —
+// explore a uniformly random unprobed object, or sample a random
+// recommendation (an object some player already marked good) from the
+// billboard. One success posts the object; exploitation then spreads it
+// through the community in logarithmic time.
+//
+// This serves as the Fig.-1-adjacent comparator of experiment E12: the
+// "single good object" task is exponentially cheaper than full
+// reconstruction, which is the gap between [4] and Theorem 1.1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/rng/rng.hpp"
+
+namespace tmwia::core {
+
+using matrix::ObjectId;
+using matrix::PlayerId;
+
+struct GoodObjectResult {
+  /// The liked object each player found (nullopt: none within budget).
+  std::vector<std::optional<ObjectId>> found;
+  /// Rounds executed (each unsatisfied player probes once per round).
+  std::size_t rounds = 0;
+  /// Total probes across all players.
+  std::uint64_t total_probes = 0;
+  /// Players still unsatisfied at the end.
+  std::size_t unsatisfied = 0;
+};
+
+struct GoodObjectParams {
+  /// Probability of exploring a fresh object (vs sampling a posted
+  /// recommendation). [4]'s analysis uses a fair coin.
+  double explore_prob = 0.5;
+  /// Safety cap on rounds; 0 means 4 * m (every player could almost
+  /// have probed everything by then).
+  std::size_t max_rounds = 0;
+};
+
+/// Run the explore/exploit scheme for all players of the oracle.
+/// Players that like nothing at all can never be satisfied and simply
+/// exhaust their probes; everyone else terminates w.h.p. well before
+/// the cap.
+GoodObjectResult good_object(billboard::ProbeOracle& oracle, const GoodObjectParams& params,
+                             rng::Rng rng);
+
+}  // namespace tmwia::core

@@ -1,0 +1,50 @@
+// Algorithm Large Radius (Fig. 5): the general case D >> log n.
+//
+// Step 1 chops the objects into L = Theta(D / log n) groups and assigns
+// each player to enough random groups that every group has
+// Omega(log n / alpha) players (Lemma 5.5). Step 2 runs Small Radius
+// inside each group with per-group distance budget
+// lambda = min(D, O(log n)). Step 3 runs the probe-free Coalesce on
+// each group's published outputs, leaving at most O(1/alpha) candidate
+// vectors per group with a *unique* candidate closest to all typical
+// players (Theorem 5.3). Step 4 reruns Zero Radius where the l-th
+// "virtual object" is the whole group O_l and its value is the index of
+// the candidate a player selects — typical players select the same
+// index, i.e. the virtual instance has diameter zero.
+//
+// Theorem 5.4: every typical player outputs within O(D/alpha) of its
+// truth, spending O(log^{7/2} n / alpha^2) probes (m = Theta(n)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tmwia/billboard/billboard.hpp"
+#include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/bits/bitvector.hpp"
+#include "tmwia/core/params.hpp"
+#include "tmwia/rng/rng.hpp"
+
+namespace tmwia::core {
+
+using matrix::PlayerId;
+
+struct LargeRadiusResult {
+  /// Output per player, aligned with `players` / the `objects`
+  /// coordinate order; Coalesce's ? entries are materialized as 0
+  /// ("which may be set to 0", Section 5).
+  std::vector<bits::BitVector> outputs;
+  std::size_t parts = 0;            ///< L, the object groups
+  std::size_t lambda = 0;           ///< per-group distance budget
+  std::size_t max_candidates = 0;   ///< max |B_l| over groups
+  std::size_t player_copies = 0;    ///< groups each player joined
+};
+
+/// Run Large Radius for `players` over `objects` with known community
+/// fraction `alpha` and diameter bound `D`.
+LargeRadiusResult large_radius(billboard::ProbeOracle& oracle, billboard::Billboard* board,
+                               const std::vector<PlayerId>& players,
+                               const std::vector<std::uint32_t>& objects, double alpha,
+                               std::size_t D, const Params& params, rng::Rng rng);
+
+}  // namespace tmwia::core

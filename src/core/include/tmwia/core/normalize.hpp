@@ -1,0 +1,52 @@
+// The paper's "without loss of generality m = Theta(n)" reduction
+// (Section 3): "if m < n we can add dummy objects, and when m > n we
+// can let each real player simulate ceil(m/n) players of the
+// algorithm" — losing a factor m/n in the rounds for n < m
+// (Theorem 5.4's caveat).
+//
+// normalize() materializes the reduction: an expanded square-ish
+// instance whose extra rows are copies owned by real players and whose
+// extra columns are dummy objects everyone grades 0. After running any
+// algorithm on the expanded oracle, denormalize_outputs() projects the
+// results back, and real_rounds() converts the expanded round count
+// (each real player executes its virtual players' probes sequentially
+// within a round).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tmwia/bits/bitvector.hpp"
+#include "tmwia/matrix/preference_matrix.hpp"
+
+namespace tmwia::core {
+
+struct Normalized {
+  /// The expanded matrix with players() == objects().
+  matrix::PreferenceMatrix expanded;
+  /// expanded row i belongs to real player owner[i].
+  std::vector<matrix::PlayerId> owner;
+  /// Virtual players simulated per real player (m > n case; 1 otherwise).
+  std::size_t virtual_per_real = 1;
+  /// Original shape.
+  std::size_t real_players = 0;
+  std::size_t real_objects = 0;
+
+  /// Rounds a real player needs to execute `expanded_rounds` lockstep
+  /// rounds of the expanded instance: its virtual players take turns.
+  [[nodiscard]] std::uint64_t real_rounds(std::uint64_t expanded_rounds) const {
+    return expanded_rounds * virtual_per_real;
+  }
+};
+
+/// Build the m = n reduction of `truth` (side length max(n_ceil, m)
+/// where n_ceil = n rounded up to cover m with equal-size shares).
+Normalized normalize(const matrix::PreferenceMatrix& truth);
+
+/// Project expanded outputs back to the real instance: real player p
+/// takes the output of its first virtual row, restricted to the real
+/// objects.
+std::vector<bits::BitVector> denormalize_outputs(const Normalized& norm,
+                                                 const std::vector<bits::BitVector>& expanded);
+
+}  // namespace tmwia::core

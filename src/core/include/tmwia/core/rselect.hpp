@@ -1,0 +1,45 @@
+// Algorithm RSelect (Fig. 7): Choose Closest *without* a distance
+// bound, by randomized pairwise tournaments.
+//
+// For every pair of distinct candidates, probe c·log n random
+// coordinates where they (both-known) differ; a candidate losing a 2/3
+// majority on the sample is declared a loser. Output a vector with no
+// losses. Theorem 6.1: O(|V|^2 log n) probes, and the output is within
+// O(D) of the truly closest candidate w.h.p.
+//
+// Used by the unknown-D driver (Section 6) to pick among the O(log n)
+// candidate outputs produced with guessed distance bounds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tmwia/bits/trivector.hpp"
+#include "tmwia/core/params.hpp"
+#include "tmwia/core/select.hpp"
+#include "tmwia/rng/rng.hpp"
+
+namespace tmwia::core {
+
+struct RSelectResult {
+  std::size_t index = 0;   ///< chosen candidate
+  std::size_t probes = 0;  ///< Probe invocations
+  /// Losses per candidate (diagnostics; the winner has the minimum,
+  /// normally 0).
+  std::vector<std::size_t> losses;
+};
+
+/// Run RSelect on `candidates`. `n` is the system size used for the
+/// c·log n sample budget (Params::rs_c, rs_majority). `rng` supplies
+/// the player's private coin flips.
+RSelectResult rselect_closest(const std::vector<bits::TriVector>& candidates, std::size_t n,
+                              const ProbeFn& probe, rng::Rng& rng,
+                              const Params& params = Params{});
+
+/// Convenience overload for fully-known candidates.
+RSelectResult rselect_closest(const std::vector<bits::BitVector>& candidates, std::size_t n,
+                              const ProbeFn& probe, rng::Rng& rng,
+                              const Params& params = Params{});
+
+}  // namespace tmwia::core

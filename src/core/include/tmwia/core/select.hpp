@@ -1,0 +1,58 @@
+// Algorithm Select (Fig. 3): the Choose Closest problem with a known
+// distance bound.
+//
+//   Input: candidate vectors V (possibly containing ? entries), a
+//   distance bound D such that some candidate is within D of the
+//   player's hidden vector, and the ability to Probe coordinates of
+//   that hidden vector.
+//   Output: the lexicographically first closest candidate, using at
+//   most |V| * (D + 1) probes (Theorem 3.2).
+//
+// Candidates are TriVectors because Large Radius runs Select over
+// Coalesce outputs, which contain "don't care" entries; distances are
+// d-tilde (? coordinates never distinguish). The probe side is a
+// callback so the same implementation serves primitive objects (probe
+// the oracle) and Large Radius's virtual objects.
+//
+// Per the paper's remark, Select ignores any probes made before its
+// execution: it tracks its own probed set and *re-invokes* Probe even
+// for coordinates the player probed earlier (the oracle charges
+// invocations; see ProbeOracle).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tmwia/bits/trivector.hpp"
+
+namespace tmwia::core {
+
+/// Probe callback: coordinate index -> the player's hidden bit.
+using ProbeFn = std::function<bool(std::uint32_t)>;
+
+struct SelectResult {
+  /// Index into the candidate list of the chosen vector.
+  std::size_t index = 0;
+  /// Number of Probe invocations made by this Select execution.
+  std::size_t probes = 0;
+  /// Disagreements observed between the chosen candidate and the
+  /// probed coordinates (a lower bound on the true distance). Note
+  /// that at least one candidate always survives elimination — at any
+  /// distinguishing coordinate the probed bit matches some alive
+  /// candidate — so when the D-precondition is violated the output is
+  /// simply the best effort; correctness guarantees need the
+  /// precondition (Theorem 3.2).
+  std::size_t observed_disagreements = 0;
+};
+
+/// Run Select on `candidates` with distance bound `D`.
+/// Precondition: candidates non-empty.
+SelectResult select_closest(const std::vector<bits::TriVector>& candidates, std::size_t D,
+                            const ProbeFn& probe);
+
+/// Convenience overload for fully-known candidates.
+SelectResult select_closest(const std::vector<bits::BitVector>& candidates, std::size_t D,
+                            const ProbeFn& probe);
+
+}  // namespace tmwia::core

@@ -1,0 +1,52 @@
+// Algorithm Small Radius (Fig. 4): reconstruction for communities of
+// small diameter D (the main algorithm invokes it with D = O(log n)).
+//
+// K independent iterations; each partitions the objects into
+// s = Theta(D^{3/2}) random parts and runs Zero Radius on every part.
+// Lemma 4.1 shows that with constant probability *every* part
+// simultaneously has >= alpha*n/5 players agreeing exactly on it, so
+// some iteration succeeds w.h.p. Step 1c stitches each player's closest
+// popular vector per part (Select with bound D); step 2 picks the best
+// of the K stitched vectors (Select with bound 5D).
+//
+// Theorem 4.4: outputs within 5D of the truth for every typical player,
+// in O(K * D^{3/2} (D + log n) / alpha) probing rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tmwia/billboard/billboard.hpp"
+#include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/bits/bitvector.hpp"
+#include "tmwia/core/params.hpp"
+#include "tmwia/rng/rng.hpp"
+
+namespace tmwia::core {
+
+using matrix::PlayerId;
+
+struct SmallRadiusResult {
+  /// Output vector per player, aligned with the `players` argument and
+  /// the `objects` argument's coordinate order.
+  std::vector<bits::BitVector> outputs;
+  /// Object parts used in the last iteration (diagnostics).
+  std::size_t parts = 0;
+  /// Iterations executed (the effective K).
+  std::size_t iterations = 0;
+};
+
+/// Run Small Radius for `players` over `objects` with community
+/// fraction `alpha` and distance bound `D`. `n_total` feeds the
+/// log-driven constants (K and the Zero Radius leaf threshold); pass
+/// players.size() when running standalone.
+SmallRadiusResult small_radius(billboard::ProbeOracle& oracle, billboard::Billboard* board,
+                               const std::vector<PlayerId>& players,
+                               const std::vector<std::uint32_t>& objects, double alpha,
+                               std::size_t D, const Params& params, rng::Rng rng,
+                               std::size_t n_total);
+
+/// Number of object parts s for a given D (Lemma 4.1 scaling).
+std::size_t small_radius_parts(std::size_t D, const Params& params);
+
+}  // namespace tmwia::core

@@ -1,0 +1,36 @@
+// Umbrella header: the public API of the tmwia library.
+//
+// Typical use:
+//
+//   tmwia::matrix::Instance inst = tmwia::matrix::planted_community(...);
+//   tmwia::billboard::ProbeOracle oracle(inst.matrix);
+//   tmwia::billboard::Billboard board;
+//   auto result = tmwia::core::find_preferences_unknown_d(
+//       oracle, &board, /*alpha=*/0.25, tmwia::core::Params::practical(),
+//       tmwia::rng::Rng{seed});
+//   // result.outputs[p] estimates player p's hidden preference row.
+#pragma once
+
+#include "tmwia/bits/bitvector.hpp"
+#include "tmwia/bits/hamming.hpp"
+#include "tmwia/bits/trivector.hpp"
+#include "tmwia/billboard/billboard.hpp"
+#include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/billboard/round_scheduler.hpp"
+#include "tmwia/billboard/strategies.hpp"
+#include "tmwia/core/bit_space.hpp"
+#include "tmwia/core/budget.hpp"
+#include "tmwia/core/coalesce.hpp"
+#include "tmwia/core/find_preferences.hpp"
+#include "tmwia/core/good_object.hpp"
+#include "tmwia/core/large_radius.hpp"
+#include "tmwia/core/normalize.hpp"
+#include "tmwia/core/params.hpp"
+#include "tmwia/core/rselect.hpp"
+#include "tmwia/core/select.hpp"
+#include "tmwia/core/small_radius.hpp"
+#include "tmwia/core/zero_radius.hpp"
+#include "tmwia/core/zero_radius_strategy.hpp"
+#include "tmwia/matrix/generators.hpp"
+#include "tmwia/matrix/preference_matrix.hpp"
+#include "tmwia/rng/rng.hpp"

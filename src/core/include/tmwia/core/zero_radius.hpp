@@ -1,0 +1,300 @@
+// Algorithm Zero Radius (Fig. 2): preference reconstruction for
+// communities that agree *exactly*.
+//
+// Recursive halving: split players and objects in half; each player
+// half reconstructs its own object half recursively, then adopts the
+// other half's result by voting + Select with distance bound 0. Leaf
+// instances (min(|P|, |O|) below the 8c·ln(n)/alpha threshold) probe
+// everything. Theorem 3.1: with >= alpha*n players sharing one vector,
+// all of them output it w.h.p. within O(log n / alpha) probes each.
+//
+// The implementation is generic over the *value space* because Large
+// Radius (step 4) reruns Zero Radius where an "object" is a whole
+// object group O_l and its "value" is one of the O(1/alpha) Coalesce
+// candidates for that group: probing such a virtual object means
+// running Select over the candidates on the group's primitive objects.
+//
+// Space concept:
+//   typename Space::Value           — regular + totally ordered
+//   Value probe(PlayerId, uint32_t) — probe object by *space index*,
+//                                     charging the player's cost
+//   (optional) void publish(std::string_view channel, PlayerId,
+//                           std::span<const Value>)
+//                                   — mirror posts to a billboard
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <tuple>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tmwia/core/params.hpp"
+#include "tmwia/engine/thread_pool.hpp"
+#include "tmwia/matrix/preference_matrix.hpp"
+#include "tmwia/rng/partition.hpp"
+#include "tmwia/rng/rng.hpp"
+
+namespace tmwia::core {
+
+using matrix::PlayerId;
+
+/// Leaf threshold of Fig. 2 step 1: min(|P|, |O|) below this probes
+/// everything.
+inline std::size_t zero_radius_leaf_threshold(std::size_t n_total, double alpha,
+                                              const Params& params) {
+  const double ln_n = std::log(static_cast<double>(std::max<std::size_t>(n_total, 3)));
+  const double t = params.zr_leaf_c * ln_n / alpha;
+  return std::max(params.zr_min_leaf, static_cast<std::size_t>(std::ceil(t)));
+}
+
+/// The shared-coin halving of one recursion node (Fig. 2 step 2),
+/// returned as position lists into the node's player/object lists. Both
+/// the centralized engine below and the distributed per-player strategy
+/// (zero_radius_strategy.hpp) derive the identical tree from the same
+/// root rng, which is what makes their outputs bit-for-bit comparable.
+struct ZeroRadiusSplit {
+  std::vector<std::uint32_t> p1, p2;  ///< player positions per half
+  std::vector<std::uint32_t> o1, o2;  ///< object positions per half
+};
+
+inline ZeroRadiusSplit zero_radius_node_split(std::size_t n_players, std::size_t n_objects,
+                                              const rng::Rng& rng, std::uint64_t node_tag) {
+  auto index_list = [](std::size_t n) {
+    std::vector<std::uint32_t> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint32_t>(i);
+    return v;
+  };
+  rng::Rng split_rng = rng.split(node_tag, 0x5eed);
+  ZeroRadiusSplit s;
+  std::tie(s.p1, s.p2) = rng::random_half_split(index_list(n_players), split_rng);
+  std::tie(s.o1, s.o2) = rng::random_half_split(index_list(n_objects), split_rng);
+  return s;
+}
+
+namespace detail {
+
+/// Select with distance bound 0 over generic value-vectors: probe
+/// distinguishing positions in order, drop candidates on their first
+/// mismatch. Returns the surviving candidate's index (ties and the
+/// all-eliminated fallback resolve to fewest mismatches, then
+/// lexicographic order).
+template <typename Space>
+std::size_t select_zero(Space& space, PlayerId p,
+                        const std::vector<std::vector<typename Space::Value>>& cands,
+                        std::span<const std::uint32_t> object_ids) {
+  const std::size_t k = cands.size();
+  if (k == 1) return 0;
+  std::vector<bool> alive(k, true);
+  std::vector<std::size_t> mismatches(k, 0);
+  std::size_t alive_count = k;
+
+  for (std::size_t j = 0; j < object_ids.size() && alive_count > 1; ++j) {
+    bool differs = false;
+    std::size_t first_alive = k;
+    for (std::size_t i = 0; i < k && !differs; ++i) {
+      if (!alive[i]) continue;
+      if (first_alive == k) {
+        first_alive = i;
+      } else if (!(cands[i][j] == cands[first_alive][j])) {
+        differs = true;
+      }
+    }
+    if (!differs) continue;
+    const auto val = space.probe(p, object_ids[j]);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (alive[i] && !(cands[i][j] == val)) {
+        ++mismatches[i];
+        alive[i] = false;
+        --alive_count;
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  bool best_alive = alive[0];
+  for (std::size_t i = 1; i < k; ++i) {
+    const bool better_liveness = alive[i] && !best_alive;
+    const bool same_liveness = alive[i] == best_alive;
+    if (better_liveness ||
+        (same_liveness && (mismatches[i] < mismatches[best] ||
+                           (mismatches[i] == mismatches[best] && cands[i] < cands[best])))) {
+      best = i;
+      best_alive = alive[i];
+    }
+  }
+  return best;
+}
+
+/// Group equal value-vectors and return those with >= min_votes
+/// occurrences, sorted lexicographically (deterministic candidates).
+template <typename Value>
+std::vector<std::vector<Value>> popular_vectors(
+    const std::vector<std::vector<Value>>& posts, std::size_t min_votes) {
+  std::map<std::vector<Value>, std::size_t> counts;
+  for (const auto& v : posts) ++counts[v];
+  std::vector<std::vector<Value>> out;
+  for (const auto& [vec, c] : counts) {
+    if (c >= min_votes) out.push_back(vec);
+  }
+  return out;
+}
+
+template <typename Space>
+struct ZeroRadiusRun {
+  Space& space;
+  double alpha;
+  const Params& params;
+  std::size_t n_total;
+  std::size_t threshold;
+
+  using Value = typename Space::Value;
+  using Outputs = std::vector<std::vector<Value>>;  // per player, per object
+
+  Outputs run(const std::vector<PlayerId>& players, const std::vector<std::uint32_t>& objects,
+              rng::Rng rng, std::uint64_t node_tag) {
+    Outputs out(players.size(), std::vector<Value>(objects.size()));
+    if (players.empty() || objects.empty()) return out;
+
+    if (std::min(players.size(), objects.size()) < threshold) {
+      // Step 1: leaf — every player probes every object.
+      engine::parallel_for(0, players.size(), [&](std::size_t i) {
+        for (std::size_t j = 0; j < objects.size(); ++j) {
+          out[i][j] = space.probe(players[i], objects[j]);
+        }
+      });
+      publish_all(players, out, node_tag);
+      return out;
+    }
+
+    // Step 2: random halving of players and objects (shared coins).
+    const auto split = zero_radius_node_split(players.size(), objects.size(), rng, node_tag);
+    const auto& p1_idx = split.p1;
+    const auto& p2_idx = split.p2;
+    const auto& o1_idx = split.o1;
+    const auto& o2_idx = split.o2;
+
+    const auto p1 = gather(players, p1_idx);
+    const auto p2 = gather(players, p2_idx);
+    const auto o1 = gather(objects, o1_idx);
+    const auto o2 = gather(objects, o2_idx);
+
+    // Step 3: both halves recurse on their own corner.
+    Outputs r1 = run(p1, o1, rng, node_tag * 2 + 1);
+    Outputs r2 = run(p2, o2, rng, node_tag * 2 + 2);
+
+    // Step 4: cross-adoption via voting + Select with bound 0.
+    adopt(p1, o2, r2, p2, out, p1_idx, o2_idx);
+    adopt(p2, o1, r1, p1, out, p2_idx, o1_idx);
+
+    // Own-half results copy straight through.
+    scatter_outputs(r1, p1_idx, o1_idx, out);
+    scatter_outputs(r2, p2_idx, o2_idx, out);
+
+    publish_all(players, out, node_tag);
+    return out;
+  }
+
+ private:
+  static std::vector<std::uint32_t> index_list(std::size_t n) {
+    std::vector<std::uint32_t> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint32_t>(i);
+    return v;
+  }
+
+  template <typename T>
+  static std::vector<T> gather(const std::vector<T>& src,
+                               const std::vector<std::uint32_t>& idx) {
+    std::vector<T> out;
+    out.reserve(idx.size());
+    for (std::uint32_t i : idx) out.push_back(src[i]);
+    return out;
+  }
+
+  /// Players `adopters` (positions `adopter_pos` in the parent lists)
+  /// adopt the other half's outputs `posts` for objects `object_ids`
+  /// (positions `obj_pos` in the parent object list).
+  void adopt(const std::vector<PlayerId>& adopters, const std::vector<std::uint32_t>& object_ids,
+             const Outputs& posts, const std::vector<PlayerId>& posters, Outputs& out,
+             const std::vector<std::uint32_t>& adopter_pos,
+             const std::vector<std::uint32_t>& obj_pos) {
+    const std::size_t poster_count = posters.size();
+    const auto min_votes = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(params.zr_vote_frac * alpha * static_cast<double>(poster_count))));
+
+    // Byzantine hook: the space may rewrite what individual posters
+    // *publish* for voting (dishonest eBay users, per the paper's
+    // intro) — their own outputs are untouched, only their influence
+    // on the vote is. Probing-based Select then defends the adopters:
+    // a forged popular vector is eliminated the first time it disagrees
+    // with the adopter's own truth on a distinguishing coordinate.
+    std::vector<std::vector<Value>> candidates;
+    if constexpr (requires(Space& s, const std::vector<PlayerId>& ps,
+                           std::span<const std::uint32_t> objs, Outputs& posted) {
+                    s.corrupt_posts(ps, objs, posted);
+                  }) {
+      Outputs forged = posts;
+      space.corrupt_posts(posters, std::span(object_ids), forged);
+      candidates = popular_vectors(forged, min_votes);
+    } else {
+      candidates = popular_vectors(posts, min_votes);
+    }
+    if (candidates.empty()) return;  // nothing popular: leave defaults
+
+    engine::parallel_for(0, adopters.size(), [&](std::size_t i) {
+      const std::size_t choice =
+          candidates.size() == 1
+              ? 0
+              : select_zero(space, adopters[i], candidates, std::span(object_ids));
+      auto& row = out[adopter_pos[i]];
+      for (std::size_t j = 0; j < obj_pos.size(); ++j) {
+        row[obj_pos[j]] = candidates[choice][j];
+      }
+    });
+  }
+
+  static void scatter_outputs(const Outputs& part, const std::vector<std::uint32_t>& player_pos,
+                              const std::vector<std::uint32_t>& obj_pos, Outputs& out) {
+    for (std::size_t i = 0; i < player_pos.size(); ++i) {
+      auto& row = out[player_pos[i]];
+      for (std::size_t j = 0; j < obj_pos.size(); ++j) {
+        row[obj_pos[j]] = part[i][j];
+      }
+    }
+  }
+
+  void publish_all(const std::vector<PlayerId>& players, const Outputs& out,
+                   std::uint64_t node_tag) {
+    if constexpr (requires(Space& s, PlayerId p, std::span<const Value> v) {
+                    s.publish(std::string_view{}, p, v);
+                  }) {
+      const std::string channel = "zr/" + std::to_string(node_tag);
+      for (std::size_t i = 0; i < players.size(); ++i) {
+        space.publish(channel, players[i], std::span<const Value>(out[i]));
+      }
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Run Zero Radius over `players` and `objects` in `space`.
+/// Returns per-player value vectors aligned with `objects` (row i
+/// belongs to players[i]). `rng` carries the shared coins; `n_total`
+/// is the system size entering the leaf threshold and is normally
+/// players.size() of the top-level call.
+template <typename Space>
+std::vector<std::vector<typename Space::Value>> zero_radius(
+    Space& space, const std::vector<PlayerId>& players,
+    const std::vector<std::uint32_t>& objects, double alpha, const Params& params,
+    rng::Rng rng, std::size_t n_total) {
+  detail::ZeroRadiusRun<Space> run{space, alpha, params, n_total,
+                                   zero_radius_leaf_threshold(n_total, alpha, params)};
+  return run.run(players, objects, std::move(rng), 1);
+}
+
+}  // namespace tmwia::core

@@ -1,0 +1,59 @@
+#include "tmwia/core/normalize.hpp"
+
+#include <stdexcept>
+
+namespace tmwia::core {
+
+Normalized normalize(const matrix::PreferenceMatrix& truth) {
+  const std::size_t n = truth.players();
+  const std::size_t m = truth.objects();
+  if (n == 0 || m == 0) {
+    throw std::invalid_argument("normalize: empty matrix");
+  }
+
+  Normalized norm;
+  norm.real_players = n;
+  norm.real_objects = m;
+  norm.virtual_per_real = (std::max(m, n) + n - 1) / n;  // ceil(max(m,n)/n)
+
+  const std::size_t side = std::max(m, n * norm.virtual_per_real);
+  // side >= m (dummy objects pad the columns) and side >= n*vpr (every
+  // real player contributes the same number of virtual rows).
+  const std::size_t rows = n * norm.virtual_per_real;
+
+  norm.expanded = matrix::PreferenceMatrix(std::max(rows, side), side);
+  norm.owner.resize(norm.expanded.players());
+
+  for (std::size_t r = 0; r < norm.expanded.players(); ++r) {
+    const auto real = static_cast<matrix::PlayerId>(r % n);
+    norm.owner[r] = real;
+    auto& row = norm.expanded.row(static_cast<matrix::PlayerId>(r));
+    // Copy the real grades; dummy objects stay 0 (everyone agrees on
+    // them, so they cannot perturb any community's diameter).
+    for (matrix::ObjectId o = 0; o < m; ++o) {
+      if (truth.value(real, o)) row.set(o, true);
+    }
+  }
+  return norm;
+}
+
+std::vector<bits::BitVector> denormalize_outputs(
+    const Normalized& norm, const std::vector<bits::BitVector>& expanded) {
+  if (expanded.size() != norm.expanded.players()) {
+    throw std::invalid_argument("denormalize_outputs: shape mismatch");
+  }
+  std::vector<bits::BitVector> out(norm.real_players,
+                                   bits::BitVector(norm.real_objects));
+  std::vector<bool> filled(norm.real_players, false);
+  for (std::size_t r = 0; r < expanded.size(); ++r) {
+    const auto real = norm.owner[r];
+    if (filled[real]) continue;
+    filled[real] = true;
+    for (matrix::ObjectId o = 0; o < norm.real_objects; ++o) {
+      out[real].set(o, expanded[r].get(o));
+    }
+  }
+  return out;
+}
+
+}  // namespace tmwia::core

@@ -1,0 +1,89 @@
+#include "tmwia/core/rselect.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tmwia/rng/partition.hpp"
+
+namespace tmwia::core {
+
+RSelectResult rselect_closest(const std::vector<bits::TriVector>& candidates, std::size_t n,
+                              const ProbeFn& probe, rng::Rng& rng, const Params& params) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("rselect_closest: empty candidate set");
+  }
+  const std::size_t k = candidates.size();
+  RSelectResult res;
+  res.losses.assign(k, 0);
+  if (k == 1) return res;
+
+  const auto budget = static_cast<std::size_t>(
+      std::ceil(params.rs_c * std::log2(static_cast<double>(std::max<std::size_t>(n, 2)))));
+
+  std::vector<std::uint32_t> diff_coords;
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = a + 1; b < k; ++b) {
+      // X = coordinates where both candidates are known and differ.
+      diff_coords.clear();
+      const std::size_t m = candidates[a].size();
+      for (std::size_t j = 0; j < m; ++j) {
+        const bits::Tri ta = candidates[a].get(j);
+        const bits::Tri tb = candidates[b].get(j);
+        if (ta != bits::Tri::kUnknown && tb != bits::Tri::kUnknown && ta != tb) {
+          diff_coords.push_back(static_cast<std::uint32_t>(j));
+        }
+      }
+      if (diff_coords.empty()) continue;
+
+      std::vector<std::uint32_t> sample;
+      if (diff_coords.size() <= budget) {
+        sample = diff_coords;
+      } else {
+        const auto idx = rng::sample_without_replacement(diff_coords.size(), budget, rng);
+        sample.reserve(budget);
+        for (std::uint32_t i : idx) sample.push_back(diff_coords[i]);
+      }
+
+      std::size_t agree_a = 0;
+      for (std::uint32_t j : sample) {
+        const bool bit = probe(j);
+        ++res.probes;
+        // On X, candidate a and b disagree, so the bit agrees with
+        // exactly one of them.
+        if ((candidates[a].get(j) == bits::Tri::kOne) == bit) ++agree_a;
+      }
+      const double frac_a =
+          static_cast<double>(agree_a) / static_cast<double>(sample.size());
+      if (frac_a >= params.rs_majority) {
+        ++res.losses[b];
+      } else if (1.0 - frac_a >= params.rs_majority) {
+        ++res.losses[a];
+      }
+    }
+  }
+
+  // Output any vector with 0 losses; deterministically, the
+  // lexicographically-first among those with the fewest losses (the
+  // fallback also covers the low-probability event that every candidate
+  // lost at least once).
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < k; ++i) {
+    if (res.losses[i] < res.losses[best] ||
+        (res.losses[i] == res.losses[best] &&
+         candidates[i].lex_compare(candidates[best]) < 0)) {
+      best = i;
+    }
+  }
+  res.index = best;
+  return res;
+}
+
+RSelectResult rselect_closest(const std::vector<bits::BitVector>& candidates, std::size_t n,
+                              const ProbeFn& probe, rng::Rng& rng, const Params& params) {
+  std::vector<bits::TriVector> tri;
+  tri.reserve(candidates.size());
+  for (const auto& c : candidates) tri.push_back(bits::TriVector::from_bits(c));
+  return rselect_closest(tri, n, probe, rng, params);
+}
+
+}  // namespace tmwia::core

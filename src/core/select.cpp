@@ -1,0 +1,90 @@
+#include "tmwia/core/select.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace tmwia::core {
+
+SelectResult select_closest(const std::vector<bits::TriVector>& candidates, std::size_t D,
+                            const ProbeFn& probe) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("select_closest: empty candidate set");
+  }
+  const std::size_t k = candidates.size();
+  const std::size_t m = candidates[0].size();
+  for (const auto& c : candidates) {
+    if (c.size() != m) throw std::invalid_argument("select_closest: ragged candidates");
+  }
+
+  SelectResult res;
+  std::vector<bool> alive(k, true);
+  std::vector<std::size_t> disagreements(k, 0);
+
+  // X(V) only shrinks as vectors are removed, so a monotone cursor over
+  // coordinates visits every distinguishing coordinate exactly once.
+  auto distinguishes = [&](std::size_t j) {
+    bool saw0 = false;
+    bool saw1 = false;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!alive[i]) continue;
+      switch (candidates[i].get(j)) {
+        case bits::Tri::kZero:
+          saw0 = true;
+          break;
+        case bits::Tri::kOne:
+          saw1 = true;
+          break;
+        case bits::Tri::kUnknown:
+          break;
+      }
+      if (saw0 && saw1) return true;
+    }
+    return false;
+  };
+
+  std::size_t alive_count = k;
+  for (std::size_t j = 0; j < m && alive_count > 1; ++j) {
+    if (!distinguishes(j)) continue;
+    const bool bit = probe(static_cast<std::uint32_t>(j));
+    ++res.probes;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!alive[i]) continue;
+      const bits::Tri t = candidates[i].get(j);
+      if (t == bits::Tri::kUnknown) continue;
+      if ((t == bits::Tri::kOne) != bit) {
+        if (++disagreements[i] > D) {
+          alive[i] = false;
+          --alive_count;
+        }
+      }
+    }
+  }
+
+  // Step 2: fewest observed disagreements wins; ties break to the
+  // lexicographically first vector. Elimination always leaves at least
+  // one survivor (see SelectResult doc), and survivors have strictly
+  // fewer observed disagreements than eliminated candidates, so
+  // minimizing over everyone is equivalent to minimizing over the
+  // survivors.
+  std::size_t best_i = 0;
+  for (std::size_t i = 1; i < k; ++i) {
+    if (disagreements[i] < disagreements[best_i] ||
+        (disagreements[i] == disagreements[best_i] &&
+         candidates[i].lex_compare(candidates[best_i]) < 0)) {
+      best_i = i;
+    }
+  }
+  res.index = best_i;
+  res.observed_disagreements = disagreements[best_i];
+  return res;
+}
+
+SelectResult select_closest(const std::vector<bits::BitVector>& candidates, std::size_t D,
+                            const ProbeFn& probe) {
+  std::vector<bits::TriVector> tri;
+  tri.reserve(candidates.size());
+  for (const auto& c : candidates) tri.push_back(bits::TriVector::from_bits(c));
+  return select_closest(tri, D, probe);
+}
+
+}  // namespace tmwia::core

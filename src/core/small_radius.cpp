@@ -1,0 +1,114 @@
+#include "tmwia/core/small_radius.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "tmwia/core/bit_space.hpp"
+#include "tmwia/core/select.hpp"
+#include "tmwia/engine/thread_pool.hpp"
+#include "tmwia/rng/partition.hpp"
+
+namespace tmwia::core {
+
+std::size_t small_radius_parts(std::size_t D, const Params& params) {
+  if (D == 0) return 1;
+  const double s = params.sr_s_mult * std::pow(static_cast<double>(D), 1.5);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(s)));
+}
+
+SmallRadiusResult small_radius(billboard::ProbeOracle& oracle, billboard::Billboard* board,
+                               const std::vector<PlayerId>& players,
+                               const std::vector<std::uint32_t>& objects, double alpha,
+                               std::size_t D, const Params& params, rng::Rng rng,
+                               std::size_t n_total) {
+  if (players.empty()) return {};
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("small_radius: alpha must be in (0, 1]");
+  }
+
+  SmallRadiusResult res;
+  const std::size_t m = objects.size();
+  const std::size_t K =
+      params.sr_K != 0
+          ? params.sr_K
+          : static_cast<std::size_t>(
+                std::ceil(std::log2(static_cast<double>(std::max<std::size_t>(n_total, 4)))));
+  // More parts than objects only creates empty parts.
+  const std::size_t s = std::min(small_radius_parts(D, params), std::max<std::size_t>(1, m));
+  res.parts = s;
+  res.iterations = K;
+
+  const auto min_votes = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(
+             alpha * static_cast<double>(players.size()) / params.sr_vote_div)));
+  const double alpha_zr = alpha / params.sr_vote_div;
+
+  // u[t][i] = player i's stitched candidate from iteration t.
+  std::vector<std::vector<bits::BitVector>> stitched(
+      K, std::vector<bits::BitVector>(players.size(), bits::BitVector(m)));
+
+  for (std::size_t t = 0; t < K; ++t) {
+    // Step 1a: random partition of object *positions* into s parts
+    // (shared coins — everyone sees the same partition).
+    rng::Rng part_rng = rng.split(t, 0xA11);
+    const auto partition = rng::random_partition(m, s, part_rng);
+
+    for (std::size_t i = 0; i < s; ++i) {
+      const auto& positions = partition.parts[i];
+      if (positions.empty()) continue;
+      std::vector<std::uint32_t> part_objects;
+      part_objects.reserve(positions.size());
+      for (std::uint32_t pos : positions) part_objects.push_back(objects[pos]);
+
+      // Step 1b: Zero Radius on this part with frequency alpha/5.
+      const std::string prefix = "sr/" + std::to_string(t) + "/" + std::to_string(i);
+      const auto zr_out = zero_radius_bits(oracle, board, players, part_objects, alpha_zr,
+                                           params, rng.split(t, 0xB0B, i), prefix);
+
+      // U_i: vectors output by at least alpha*n/5 players.
+      const auto voted = billboard::tally(zr_out, static_cast<std::uint32_t>(min_votes));
+      std::vector<bits::BitVector> candidates;
+      candidates.reserve(voted.size());
+      for (const auto& vv : voted) candidates.push_back(vv.vec);
+
+      // Step 1c: each player adopts the closest popular vector within
+      // distance D (falling back to its own Zero Radius output when no
+      // vector met the popularity bar — that player is not typical in
+      // this part and its pick is corrected by step 2 anyway).
+      engine::parallel_for(0, players.size(), [&](std::size_t pi) {
+        const PlayerId p = players[pi];
+        bits::BitVector chosen;
+        if (candidates.empty()) {
+          chosen = zr_out[pi];
+        } else {
+          const auto sel = select_closest(candidates, D, [&](std::uint32_t j) {
+            return oracle.probe(p, part_objects[j]);
+          });
+          chosen = candidates[sel.index];
+        }
+        stitched[t][pi].scatter(chosen, positions);
+      });
+    }
+  }
+
+  // Step 2: every player picks the best of its K stitched candidates
+  // with Select bound 5D.
+  const auto final_bound = static_cast<std::size_t>(
+      std::ceil(params.sr_final_mult * static_cast<double>(D)));
+  res.outputs.assign(players.size(), bits::BitVector(m));
+  engine::parallel_for(0, players.size(), [&](std::size_t pi) {
+    const PlayerId p = players[pi];
+    std::vector<bits::BitVector> candidates;
+    candidates.reserve(K);
+    for (std::size_t t = 0; t < K; ++t) candidates.push_back(stitched[t][pi]);
+    const auto sel = select_closest(candidates, final_bound, [&](std::uint32_t j) {
+      return oracle.probe(p, objects[j]);
+    });
+    res.outputs[pi] = std::move(candidates[sel.index]);
+  });
+
+  return res;
+}
+
+}  // namespace tmwia::core

@@ -1,0 +1,64 @@
+// Execution engine for the synchronous-rounds simulation.
+//
+// The paper's model is n players acting in lockstep rounds. Inside one
+// logical phase the players' computations are independent (they read
+// the billboard snapshot from the previous phase, probe, and post), so
+// we execute per-player work with a work-stealing-free static-chunked
+// parallel_for over a shared thread pool. Determinism: the work
+// function receives the player index and must draw randomness only from
+// streams split by that index, so results are independent of thread
+// scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tmwia::engine {
+
+/// A fixed-size pool of worker threads executing submitted tasks.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (>= 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Submit a task; tasks may not submit nested parallel_for on the
+  /// same pool (no re-entrancy needed in this codebase).
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait_idle();
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run body(i) for i in [begin, end) across the pool in fixed chunks.
+/// Blocks until complete. Exceptions in body are rethrown (first one
+/// wins). Falls back to serial execution for tiny ranges.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 64);
+
+}  // namespace tmwia::engine

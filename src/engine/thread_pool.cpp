@@ -1,0 +1,108 @@
+#include "tmwia/engine/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace tmwia::engine {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body, std::size_t grain) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  auto& pool = ThreadPool::global();
+  if (n <= grain || pool.thread_count() == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+
+  const std::size_t chunks = (n + grain - 1) / grain;
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = std::min(end, lo + grain);
+    pool.submit([&, lo, hi] {
+      try {
+        if (!failed.load(std::memory_order_relaxed)) {
+          for (std::size_t i = lo; i < hi; ++i) body(i);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!failed.exchange(true)) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1) + 1 == chunks) {
+        std::lock_guard<std::mutex> lk(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lk(done_mu);
+  done_cv.wait(lk, [&] { return done.load() == chunks; });
+  if (failed.load() && first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace tmwia::engine

@@ -1,0 +1,50 @@
+#include "tmwia/io/args.hpp"
+
+#include <stdexcept>
+
+namespace tmwia::io {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      throw std::invalid_argument("Args: expected --key[=value], got '" + a + "'");
+    }
+    a = a.substr(2);
+    const auto eq = a.find('=');
+    if (eq == std::string::npos) {
+      kv_[a] = "true";
+    } else {
+      kv_[a.substr(0, eq)] = a.substr(eq + 1);
+    }
+  }
+}
+
+std::optional<std::string> Args::get(const std::string& name) const {
+  const auto it = kv_.find(name);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::int64_t Args::get_int(const std::string& name, std::int64_t def) const {
+  const auto v = get(name);
+  return v ? std::stoll(*v) : def;
+}
+
+double Args::get_double(const std::string& name, double def) const {
+  const auto v = get(name);
+  return v ? std::stod(*v) : def;
+}
+
+std::uint64_t Args::get_seed(const std::string& name, std::uint64_t def) const {
+  const auto v = get(name);
+  return v ? std::stoull(*v) : def;
+}
+
+bool Args::get_flag(const std::string& name) const {
+  const auto v = get(name);
+  return v && (*v == "true" || *v == "1");
+}
+
+}  // namespace tmwia::io

@@ -1,0 +1,34 @@
+// Minimal `--key=value` / `--flag` argument parser for the bench and
+// example binaries, so every experiment is parameterizable from the
+// command line without a dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace tmwia::io {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// Value of --name=value, if present.
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+
+  /// Typed accessors with defaults.
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] std::uint64_t get_seed(const std::string& name, std::uint64_t def) const;
+  /// --name (no value) or --name=true/1 => true.
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace tmwia::io

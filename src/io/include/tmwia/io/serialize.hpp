@@ -1,0 +1,53 @@
+// Serialization of the library's value types: preference matrices,
+// generated instances (matrix + planted community structure) and result
+// vectors. Two interchangeable encodings:
+//
+//  * text  — line-oriented, human-inspectable ("TMWIA/1 text" header,
+//            one '0'/'1' row per line), diff-friendly for goldens;
+//  * binary — "TMWIA/1 bin" magic + little-endian u64 dims + packed row
+//             words; loads back bit-exact.
+//
+// Both round-trip exactly; loaders validate headers and shapes and
+// throw std::runtime_error on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tmwia/bits/bitvector.hpp"
+#include "tmwia/matrix/generators.hpp"
+#include "tmwia/matrix/preference_matrix.hpp"
+
+namespace tmwia::io {
+
+// --- preference matrices -------------------------------------------------
+
+void save_matrix_text(const matrix::PreferenceMatrix& m, std::ostream& os);
+matrix::PreferenceMatrix load_matrix_text(std::istream& is);
+
+void save_matrix_binary(const matrix::PreferenceMatrix& m, std::ostream& os);
+matrix::PreferenceMatrix load_matrix_binary(std::istream& is);
+
+// --- generated instances (matrix + community structure) ------------------
+
+/// Text format: the matrix section followed by one line per community
+/// ("community <id...>" ) and per center ("center <bits>").
+void save_instance(const matrix::Instance& inst, std::ostream& os);
+matrix::Instance load_instance(std::istream& is);
+
+// --- output vectors -------------------------------------------------------
+
+/// One row per player, text bits.
+void save_outputs(const std::vector<bits::BitVector>& outputs, std::ostream& os);
+std::vector<bits::BitVector> load_outputs(std::istream& is);
+
+// --- file helpers ----------------------------------------------------------
+
+void save_matrix_file(const matrix::PreferenceMatrix& m, const std::string& path,
+                      bool binary = false);
+matrix::PreferenceMatrix load_matrix_file(const std::string& path);
+void save_instance_file(const matrix::Instance& inst, const std::string& path);
+matrix::Instance load_instance_file(const std::string& path);
+
+}  // namespace tmwia::io

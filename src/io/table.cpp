@@ -1,0 +1,77 @@
+#include "tmwia/io/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tmwia::io {
+
+Table::Table(std::string title, std::vector<Column> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("Table: need at least one column");
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count != column count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(const Cell& c, std::size_t col) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(columns_[col].precision) << std::get<double>(c);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].header.size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      r[c] = format_cell(row[c], c);
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+    rendered.push_back(std::move(r));
+  }
+
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c])) << cells[c];
+    }
+    os << '\n';
+  };
+  std::vector<std::string> headers;
+  headers.reserve(columns_.size());
+  for (const auto& col : columns_) headers.push_back(col.header);
+  emit_row(headers);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rendered) emit_row(r);
+  os.flush();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << columns_[c].header;
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << (c == 0 ? "" : ",") << format_cell(row[c], c);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace tmwia::io

@@ -1,0 +1,183 @@
+#include "tmwia/matrix/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "tmwia/rng/partition.hpp"
+
+namespace tmwia::matrix {
+
+std::vector<PlayerId> Instance::outsiders() const {
+  std::vector<bool> member(matrix.players(), false);
+  for (const auto& c : communities) {
+    for (PlayerId p : c) member[p] = true;
+  }
+  std::vector<PlayerId> out;
+  for (PlayerId p = 0; p < matrix.players(); ++p) {
+    if (!member[p]) out.push_back(p);
+  }
+  return out;
+}
+
+void drift(Instance& inst, std::size_t center_flips, std::size_t player_flips,
+           rng::Rng& rng) {
+  const std::size_t m = inst.matrix.objects();
+  // Block drift: flip the same coordinates in the center and in every
+  // member's row, so pairwise distances inside the community are
+  // untouched.
+  for (std::size_t c = 0; c < inst.communities.size(); ++c) {
+    const auto coords = rng::sample_without_replacement(
+        m, std::min(center_flips, m), rng);
+    for (std::uint32_t j : coords) inst.centers[c].flip(j);
+    for (PlayerId p : inst.communities[c]) {
+      for (std::uint32_t j : coords) inst.matrix.row(p).flip(j);
+    }
+  }
+  // Individual jitter (increases diameters by up to 2*player_flips).
+  if (player_flips > 0) {
+    for (PlayerId p = 0; p < inst.matrix.players(); ++p) {
+      const auto coords = rng::sample_without_replacement(
+          m, std::min(player_flips, m), rng);
+      for (std::uint32_t j : coords) inst.matrix.row(p).flip(j);
+    }
+  }
+}
+
+bits::BitVector random_vector(std::size_t m, rng::Rng& rng) {
+  bits::BitVector v(m);
+  for (std::size_t o = 0; o < m; ++o) {
+    if (rng.coin()) v.set(o, true);
+  }
+  return v;
+}
+
+bits::BitVector flip_random(const bits::BitVector& v, std::size_t flips, rng::Rng& rng) {
+  if (flips > v.size()) {
+    throw std::invalid_argument("flip_random: more flips than coordinates");
+  }
+  bits::BitVector out = v;
+  const auto coords = rng::sample_without_replacement(v.size(), flips, rng);
+  for (std::uint32_t c : coords) out.flip(c);
+  return out;
+}
+
+Instance planted_community(std::size_t n, std::size_t m, const CommunitySpec& spec,
+                           rng::Rng& rng) {
+  return planted_communities(n, m, {spec}, rng);
+}
+
+Instance planted_communities(std::size_t n, std::size_t m,
+                             const std::vector<CommunitySpec>& specs, rng::Rng& rng) {
+  double total_alpha = 0.0;
+  for (const auto& s : specs) total_alpha += s.alpha;
+  if (total_alpha > 1.0 + 1e-9) {
+    throw std::invalid_argument("planted_communities: alphas sum past 1");
+  }
+
+  Instance inst;
+  inst.matrix = PreferenceMatrix(n, m);
+
+  // Random player order, carved into consecutive community blocks.
+  std::vector<PlayerId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  rng::shuffle(order, rng);
+
+  std::size_t cursor = 0;
+  for (const auto& spec : specs) {
+    const auto size = static_cast<std::size_t>(
+        std::ceil(spec.alpha * static_cast<double>(n) - 1e-9));
+    if (cursor + size > n) {
+      throw std::invalid_argument("planted_communities: community sizes exceed n");
+    }
+    bits::BitVector center = random_vector(m, rng);
+    std::vector<PlayerId> members(order.begin() + static_cast<std::ptrdiff_t>(cursor),
+                                  order.begin() + static_cast<std::ptrdiff_t>(cursor + size));
+    std::sort(members.begin(), members.end());
+    for (PlayerId p : members) {
+      inst.matrix.row(p) = spec.radius == 0 ? center : flip_random(center, spec.radius, rng);
+    }
+    inst.communities.push_back(std::move(members));
+    inst.centers.push_back(std::move(center));
+    cursor += size;
+  }
+
+  for (std::size_t i = cursor; i < n; ++i) {
+    inst.matrix.row(order[i]) = random_vector(m, rng);
+  }
+  return inst;
+}
+
+Instance adversarial_diversity(std::size_t n, std::size_t m, std::size_t types,
+                               std::size_t radius, double noise_fraction, rng::Rng& rng) {
+  if (types == 0) throw std::invalid_argument("adversarial_diversity: types must be >= 1");
+  const auto noisy = static_cast<std::size_t>(noise_fraction * static_cast<double>(n));
+  const std::size_t structured = n - noisy;
+  const double alpha_each =
+      static_cast<double>(structured) / static_cast<double>(types) / static_cast<double>(n);
+
+  std::vector<CommunitySpec> specs(types, CommunitySpec{alpha_each, radius});
+  return planted_communities(n, m, specs, rng);
+}
+
+Instance markov_type_model(std::size_t n, std::size_t m, std::size_t k, double p0,
+                           rng::Rng& rng) {
+  if (k == 0) throw std::invalid_argument("markov_type_model: k must be >= 1");
+  if (p0 < 0.0 || p0 > 1.0) throw std::invalid_argument("markov_type_model: p0 in [0,1]");
+
+  Instance inst;
+  inst.matrix = PreferenceMatrix(n, m);
+  inst.communities.resize(k);
+
+  // theta[t][o] in {p0, 1-p0}: the type's tendency to like object o.
+  std::vector<bits::BitVector> tendency;
+  tendency.reserve(k);
+  for (std::size_t t = 0; t < k; ++t) {
+    tendency.push_back(random_vector(m, rng));
+    inst.centers.push_back(tendency.back());
+  }
+
+  for (PlayerId p = 0; p < n; ++p) {
+    const std::size_t t = rng.uniform(k);
+    inst.communities[t].push_back(p);
+    auto& row = inst.matrix.row(p);
+    for (ObjectId o = 0; o < m; ++o) {
+      const double like_prob = tendency[t].get(o) ? 1.0 - p0 : p0;
+      if (rng.bernoulli(like_prob)) row.set(o, true);
+    }
+  }
+  return inst;
+}
+
+Instance low_rank_model(std::size_t n, std::size_t m, std::size_t k, double noise,
+                        rng::Rng& rng) {
+  if (k == 0) throw std::invalid_argument("low_rank_model: k must be >= 1");
+  Instance inst;
+  inst.matrix = PreferenceMatrix(n, m);
+  inst.communities.resize(k);
+  for (std::size_t t = 0; t < k; ++t) {
+    inst.centers.push_back(random_vector(m, rng));
+  }
+  for (PlayerId p = 0; p < n; ++p) {
+    const std::size_t t = rng.uniform(k);
+    inst.communities[t].push_back(p);
+    auto& row = inst.matrix.row(p);
+    row = inst.centers[t];
+    for (ObjectId o = 0; o < m; ++o) {
+      if (rng.bernoulli(noise)) row.flip(o);
+    }
+  }
+  return inst;
+}
+
+Instance uniform_random(std::size_t n, std::size_t m, rng::Rng& rng) {
+  Instance inst;
+  inst.matrix = PreferenceMatrix(n, m);
+  for (PlayerId p = 0; p < n; ++p) {
+    inst.matrix.row(p) = random_vector(m, rng);
+  }
+  return inst;
+}
+
+}  // namespace tmwia::matrix

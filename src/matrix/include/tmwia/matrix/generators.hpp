@@ -1,0 +1,95 @@
+// Workload generators for the experiments.
+//
+// The paper makes *no* assumption on the matrix, so the generators span
+// the whole spectrum the related-work section discusses:
+//  * planted (alpha, D) communities — the typical sets the theorems
+//    quantify over, with exact control of the planted diameter;
+//  * multiple overlapping communities of different radii;
+//  * the adversarial-diversity regime (many types + per-user noise)
+//    where low-rank/non-interactive baselines break (experiment E9);
+//  * the Markov "type" generative model of Kumar et al. [12] and the
+//    low-rank model the SVD line of work [5,14,15] assumes — as
+//    *controls* where the baselines are expected to do well.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tmwia/matrix/preference_matrix.hpp"
+#include "tmwia/rng/rng.hpp"
+
+namespace tmwia::matrix {
+
+/// A generated instance: the hidden matrix plus the planted community
+/// structure so experiments can audit against ground truth.
+struct Instance {
+  PreferenceMatrix matrix;
+  /// Each planted community, as ascending player-id lists.
+  std::vector<std::vector<PlayerId>> communities;
+  /// The community centers (one BitVector per community).
+  std::vector<bits::BitVector> centers;
+
+  /// Players in no community (fully random rows).
+  [[nodiscard]] std::vector<PlayerId> outsiders() const;
+};
+
+/// Parameters of one planted community.
+struct CommunitySpec {
+  double alpha = 0.5;      ///< fraction of players in the community
+  std::size_t radius = 0;  ///< each member flips exactly `radius` coords
+                           ///< of the center => planted diameter <= 2*radius
+};
+
+/// One community of exactly ceil(alpha*n) players around a random
+/// center; members flip exactly `radius` uniformly chosen coordinates;
+/// everyone else gets an i.i.d. uniform row.
+Instance planted_community(std::size_t n, std::size_t m, const CommunitySpec& spec,
+                           rng::Rng& rng);
+
+/// Several disjoint planted communities (specs must sum to alpha <= 1);
+/// remaining players uniform.
+Instance planted_communities(std::size_t n, std::size_t m,
+                             const std::vector<CommunitySpec>& specs, rng::Rng& rng);
+
+/// The E9(b) adversarial-diversity workload: `types` community centers,
+/// players split evenly among them, each player at exactly `radius`
+/// flips from its center, plus `noise_fraction` of players replaced by
+/// i.i.d. uniform rows. With many types and nonzero radius the matrix
+/// has a flat spectrum and low-rank reconstructions degrade, yet every
+/// community is an (alpha, 2*radius)-typical set.
+Instance adversarial_diversity(std::size_t n, std::size_t m, std::size_t types,
+                               std::size_t radius, double noise_fraction, rng::Rng& rng);
+
+/// Kumar et al. style Markov "type" model: k types, each type t is a
+/// vector of per-object probabilities theta[t][o] in {p0, 1-p0}; each
+/// player picks a uniform type and samples coordinates independently.
+Instance markov_type_model(std::size_t n, std::size_t m, std::size_t k, double p0,
+                           rng::Rng& rng);
+
+/// SVD-friendly control: k well-separated canonical rows; each player
+/// copies one canonical row exactly and then flips each coordinate
+/// independently with probability `noise` (tiny, per [6]'s assumption).
+Instance low_rank_model(std::size_t n, std::size_t m, std::size_t k, double noise,
+                        rng::Rng& rng);
+
+/// Uniform i.i.d. matrix (no structure at all): the "everyone is
+/// esoteric" worst case where even the optimum needs ~m probes.
+Instance uniform_random(std::size_t n, std::size_t m, rng::Rng& rng);
+
+/// Evolve an instance one epoch: every community center drifts by
+/// `center_flips` coordinate flips (all members follow — the community
+/// moves as a block, keeping its diameter), and additionally each
+/// player individually flips `player_flips` coordinates (taste jitter).
+/// Models the intro's "tracking dynamic environment" framing; see
+/// experiment E15.
+void drift(Instance& inst, std::size_t center_flips, std::size_t player_flips,
+           rng::Rng& rng);
+
+/// A uniformly random BitVector of length m.
+bits::BitVector random_vector(std::size_t m, rng::Rng& rng);
+
+/// `v` with exactly `flips` distinct uniformly-chosen coordinates
+/// flipped.
+bits::BitVector flip_random(const bits::BitVector& v, std::size_t flips, rng::Rng& rng);
+
+}  // namespace tmwia::matrix

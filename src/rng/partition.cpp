@@ -1,0 +1,75 @@
+#include "tmwia/rng/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace tmwia::rng {
+
+Partition random_partition(const std::vector<std::uint32_t>& ids, std::size_t s, Rng& rng) {
+  if (s == 0) throw std::invalid_argument("random_partition: s must be >= 1");
+  Partition p;
+  p.parts.resize(s);
+  for (std::uint32_t id : ids) {
+    p.parts[rng.uniform(s)].push_back(id);
+  }
+  return p;
+}
+
+Partition random_partition(std::size_t n, std::size_t s, Rng& rng) {
+  std::vector<std::uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  return random_partition(ids, s, rng);
+}
+
+std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>> random_half_split(
+    const std::vector<std::uint32_t>& ids, Rng& rng) {
+  std::vector<std::uint32_t> perm = ids;
+  shuffle(perm, rng);
+  const std::size_t half = ids.size() / 2;
+  std::vector<std::uint32_t> a(perm.begin(), perm.begin() + static_cast<std::ptrdiff_t>(half));
+  std::vector<std::uint32_t> b(perm.begin() + static_cast<std::ptrdiff_t>(half), perm.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return {std::move(a), std::move(b)};
+}
+
+Partition assign_to_parts(const std::vector<std::uint32_t>& ids, std::size_t s,
+                          std::size_t copies, Rng& rng) {
+  if (s == 0) throw std::invalid_argument("assign_to_parts: s must be >= 1");
+  if (copies > s) copies = s;
+  Partition p;
+  p.parts.resize(s);
+  std::vector<std::uint32_t> chosen;
+  for (std::uint32_t id : ids) {
+    chosen.clear();
+    // copies << s in all our uses, so rejection sampling is cheap.
+    while (chosen.size() < copies) {
+      const auto part = static_cast<std::uint32_t>(rng.uniform(s));
+      if (std::find(chosen.begin(), chosen.end(), part) == chosen.end()) {
+        chosen.push_back(part);
+      }
+    }
+    for (std::uint32_t part : chosen) p.parts[part].push_back(id);
+  }
+  return p;
+}
+
+std::vector<std::uint32_t> sample_without_replacement(std::size_t n, std::size_t k, Rng& rng) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  // Floyd's algorithm: k uniform draws, no O(n) scratch.
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::uint32_t>(rng.uniform(j + 1));
+    if (std::find(out.begin(), out.end(), t) == out.end()) {
+      out.push_back(t);
+    } else {
+      out.push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tmwia::rng

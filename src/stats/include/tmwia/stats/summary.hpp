@@ -1,0 +1,67 @@
+// Small statistics toolkit used by tests and benches: per-trial
+// summaries, binomial confidence intervals for success probabilities
+// (Theorems 3.1/4.4/5.4 are "with probability ..." statements), and
+// log-log regression for empirical scaling exponents (is the cost curve
+// polylog or polynomial?).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tmwia::stats {
+
+/// Collects scalar observations; O(1) moments plus stored samples for
+/// exact percentiles. Intended for 1e2..1e6 observations.
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Exact percentile via nearest-rank (q in [0,1]). Sorts lazily.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(0.5); }
+
+ private:
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Wilson score interval for a binomial proportion.
+struct Proportion {
+  double estimate = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Wilson interval for `successes` out of `trials` at ~95% (z = 1.96) by
+/// default. trials == 0 yields {0, 0, 1}.
+Proportion wilson_interval(std::size_t successes, std::size_t trials, double z = 1.96);
+
+/// Least-squares fit y = a + b*x. Returns {a, b}; b is the slope.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Fit log(y) = a + b*log(x): the empirical polynomial degree of y(x).
+/// A polylog quantity fits with slope -> 0 as x grows; a linear one
+/// with slope ~1. Requires positive data.
+LinearFit fit_loglog(std::span<const double> xs, std::span<const double> ys);
+
+/// Fit y = a + b*log2(x): detects logarithmic growth directly.
+LinearFit fit_semilog(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace tmwia::stats

@@ -1,0 +1,151 @@
+// Tests for the comparator algorithms (experiment E9's cast): cost
+// accounting and the regimes where each baseline is expected to work or
+// fail — the failures are part of the paper's story (Section 2).
+#include <gtest/gtest.h>
+
+#include "tmwia/baselines/baselines.hpp"
+#include "tmwia/matrix/generators.hpp"
+
+namespace tmwia::baselines {
+namespace {
+
+std::size_t mean_error(const BaselineResult& res, const matrix::Instance& inst,
+                       const std::vector<matrix::PlayerId>& ids) {
+  std::size_t total = 0;
+  for (auto p : ids) total += res.outputs[p].hamming(inst.matrix.row(p));
+  return total / ids.size();
+}
+
+TEST(Solo, ExactAndCostsM) {
+  rng::Rng rng(1);
+  const auto inst = matrix::uniform_random(16, 64, rng);
+  billboard::ProbeOracle oracle(inst.matrix);
+  const auto res = solo_probing(oracle);
+  EXPECT_EQ(res.rounds, 64u);
+  EXPECT_EQ(res.total_probes, 16u * 64u);
+  for (matrix::PlayerId p = 0; p < 16; ++p) {
+    EXPECT_EQ(res.outputs[p], inst.matrix.row(p));
+  }
+}
+
+TEST(Knn, RoundsEqualSampleBudget) {
+  rng::Rng rng(2);
+  const auto inst = matrix::uniform_random(32, 256, rng);
+  billboard::ProbeOracle oracle(inst.matrix);
+  KnnParams p;
+  p.probes_per_player = 40;
+  const auto res = sampled_knn(oracle, p, rng::Rng(3));
+  EXPECT_EQ(res.rounds, 40u);
+  EXPECT_EQ(res.total_probes, 32u * 40u);
+}
+
+TEST(Knn, RecoversZeroRadiusCommunityWithEnoughSamples) {
+  rng::Rng rng(4);
+  const auto inst = matrix::planted_community(128, 256, {0.5, 0}, rng);
+  billboard::ProbeOracle oracle(inst.matrix);
+  KnnParams p;
+  p.probes_per_player = 96;
+  p.neighbours = 12;
+  const auto res = sampled_knn(oracle, p, rng::Rng(5));
+  // With 96/256 samples, similarity estimates are reliable and the
+  // community majority fills in the gaps.
+  EXPECT_LE(mean_error(res, inst, inst.communities[0]), 20u);
+}
+
+TEST(Knn, FailsWithFewSamples) {
+  rng::Rng rng(6);
+  const auto inst = matrix::planted_community(128, 1024, {0.5, 0}, rng);
+  billboard::ProbeOracle oracle(inst.matrix);
+  KnnParams p;
+  p.probes_per_player = 8;  // overlaps are ~8*8/1024 < 1: no signal
+  const auto res = sampled_knn(oracle, p, rng::Rng(7));
+  // Near half the unseen coordinates end up wrong.
+  EXPECT_GE(mean_error(res, inst, inst.communities[0]), 1024u / 5);
+}
+
+TEST(Knn, SampleBudgetClampedToM) {
+  rng::Rng rng(8);
+  const auto inst = matrix::uniform_random(8, 16, rng);
+  billboard::ProbeOracle oracle(inst.matrix);
+  KnnParams p;
+  p.probes_per_player = 100;
+  const auto res = sampled_knn(oracle, p, rng::Rng(9));
+  EXPECT_EQ(res.rounds, 16u);
+  // Full sampling: everyone exact.
+  for (matrix::PlayerId q = 0; q < 8; ++q) {
+    EXPECT_EQ(res.outputs[q], inst.matrix.row(q));
+  }
+}
+
+TEST(Svd, ReconstructsLowRankInput) {
+  rng::Rng rng(10);
+  const auto inst = matrix::low_rank_model(128, 256, 3, 0.0, rng);
+  billboard::ProbeOracle oracle(inst.matrix);
+  SvdParams p;
+  p.sample_rate = 0.3;
+  p.rank = 3;
+  const auto res = svd_recommender(oracle, p, rng::Rng(11));
+  // The SVD-friendly control: rank-3 matrix, clean types.
+  std::size_t worst_mean = 0;
+  for (const auto& c : inst.communities) {
+    if (c.empty()) continue;
+    worst_mean = std::max(worst_mean, mean_error(res, inst, c));
+  }
+  EXPECT_LE(worst_mean, 30u);
+}
+
+TEST(Svd, DegradesOnAdversarialDiversity) {
+  rng::Rng rng(12);
+  // 16 types + per-user noise: flat spectrum, rank-4 projection is far
+  // from the truth.
+  const auto inst = matrix::adversarial_diversity(128, 256, 16, 8, 0.25, rng);
+  billboard::ProbeOracle oracle(inst.matrix);
+  SvdParams p;
+  p.sample_rate = 0.3;
+  p.rank = 4;
+  const auto res = svd_recommender(oracle, p, rng::Rng(13));
+  std::size_t worst_mean = 0;
+  for (const auto& c : inst.communities) {
+    if (c.empty()) continue;
+    worst_mean = std::max(worst_mean, mean_error(res, inst, c));
+  }
+  EXPECT_GE(worst_mean, 40u);  // the headline failure E9 quantifies
+}
+
+TEST(Svd, CostMatchesSampleRate) {
+  rng::Rng rng(14);
+  const auto inst = matrix::uniform_random(64, 512, rng);
+  billboard::ProbeOracle oracle(inst.matrix);
+  SvdParams p;
+  p.sample_rate = 0.1;
+  const auto res = svd_recommender(oracle, p, rng::Rng(15));
+  EXPECT_NEAR(static_cast<double>(res.total_probes), 0.1 * 64 * 512, 600.0);
+}
+
+TEST(Majority, AllPlayersGetSameVector) {
+  rng::Rng rng(16);
+  const auto inst = matrix::planted_community(64, 128, {1.0, 0}, rng);
+  billboard::ProbeOracle oracle(inst.matrix);
+  const auto res = global_majority(oracle, 32, rng::Rng(17));
+  for (matrix::PlayerId p = 1; p < 64; ++p) {
+    EXPECT_EQ(res.outputs[p], res.outputs[0]);
+  }
+  // With a single zero-radius community covering everyone, the majority
+  // vector is nearly the center.
+  EXPECT_LE(res.outputs[0].hamming(inst.centers[0]), 12u);
+}
+
+TEST(Majority, ErrorFloorWithTwoCommunities) {
+  rng::Rng rng(18);
+  const auto inst = matrix::planted_communities(64, 256, {{0.5, 0}, {0.5, 0}}, rng);
+  billboard::ProbeOracle oracle(inst.matrix);
+  const auto res = global_majority(oracle, 64, rng::Rng(19));
+  // One vector cannot satisfy two random centers ~128 apart: someone
+  // eats ~ half that distance.
+  const auto d0 = res.outputs[0].hamming(inst.centers[0]);
+  const auto d1 = res.outputs[0].hamming(inst.centers[1]);
+  EXPECT_GE(d0 + d1, 90u);
+}
+
+}  // namespace
+}  // namespace tmwia::baselines

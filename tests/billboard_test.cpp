@@ -1,0 +1,178 @@
+// Tests for the billboard module: probe accounting semantics (the cost
+// model of Section 1.1) and channel/vote aggregation.
+#include <gtest/gtest.h>
+
+#include "tmwia/billboard/billboard.hpp"
+#include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/engine/thread_pool.hpp"
+#include "tmwia/matrix/generators.hpp"
+
+namespace tmwia::billboard {
+namespace {
+
+matrix::PreferenceMatrix small_matrix() {
+  matrix::PreferenceMatrix m(3, 4);
+  m.row(0) = bits::BitVector::from_string("0101");
+  m.row(1) = bits::BitVector::from_string("0011");
+  m.row(2) = bits::BitVector::from_string("1111");
+  return m;
+}
+
+TEST(ProbeOracle, ProbeReturnsTruth) {
+  const auto m = small_matrix();
+  ProbeOracle o(m);
+  EXPECT_FALSE(o.probe(0, 0));
+  EXPECT_TRUE(o.probe(0, 1));
+  EXPECT_TRUE(o.probe(2, 3));
+}
+
+TEST(ProbeOracle, InvocationsCountEveryCall) {
+  const auto m = small_matrix();
+  ProbeOracle o(m);
+  o.probe(0, 1);
+  o.probe(0, 1);
+  o.probe(0, 2);
+  EXPECT_EQ(o.invocations(0), 3u);
+  EXPECT_EQ(o.charged(0), 2u);  // (0,1) charged once
+  EXPECT_EQ(o.invocations(1), 0u);
+}
+
+TEST(ProbeOracle, TotalsAndMax) {
+  const auto m = small_matrix();
+  ProbeOracle o(m);
+  o.probe(0, 0);
+  o.probe(0, 1);
+  o.probe(1, 0);
+  EXPECT_EQ(o.total_invocations(), 3u);
+  EXPECT_EQ(o.total_charged(), 3u);
+  EXPECT_EQ(o.max_invocations(), 2u);
+}
+
+TEST(ProbeOracle, RoundsSinceSnapshot) {
+  const auto m = small_matrix();
+  ProbeOracle o(m);
+  o.probe(0, 0);
+  const auto snap = o.snapshot();
+  o.probe(1, 0);
+  o.probe(1, 1);
+  o.probe(2, 0);
+  EXPECT_EQ(o.rounds_since(snap), 2u);  // player 1 probed twice
+}
+
+TEST(ProbeOracle, ProbedRecordIsPublic) {
+  const auto m = small_matrix();
+  ProbeOracle o(m);
+  EXPECT_FALSE(o.is_probed(1, 2));
+  EXPECT_THROW(o.probed_value(1, 2), std::logic_error);
+  o.probe(1, 2);
+  EXPECT_TRUE(o.is_probed(1, 2));
+  EXPECT_TRUE(o.probed_value(1, 2));
+}
+
+TEST(ProbeOracle, OutOfRangeThrows) {
+  const auto m = small_matrix();
+  ProbeOracle o(m);
+  EXPECT_THROW(o.probe(3, 0), std::out_of_range);
+  EXPECT_THROW(o.probe(0, 4), std::out_of_range);
+}
+
+TEST(ProbeOracle, ConcurrentProbesByDistinctPlayers) {
+  rng::Rng rng(1);
+  const auto inst = matrix::uniform_random(64, 256, rng);
+  ProbeOracle o(inst.matrix);
+  engine::parallel_for(0, 64, [&](std::size_t p) {
+    for (std::uint32_t j = 0; j < 256; ++j) {
+      (void)o.probe(static_cast<matrix::PlayerId>(p), j);
+    }
+  });
+  EXPECT_EQ(o.total_invocations(), 64u * 256u);
+  EXPECT_EQ(o.max_invocations(), 256u);
+}
+
+// ------------------------------------------------------------------ Billboard
+
+TEST(Billboard, PostAndPopular) {
+  Billboard b;
+  const auto v1 = bits::BitVector::from_string("0101");
+  const auto v2 = bits::BitVector::from_string("1111");
+  b.post("ch", 0, v1);
+  b.post("ch", 1, v1);
+  b.post("ch", 2, v2);
+
+  const auto pop2 = b.popular("ch", 2);
+  ASSERT_EQ(pop2.size(), 1u);
+  EXPECT_EQ(pop2[0].vec, v1);
+  EXPECT_EQ(pop2[0].votes, 2u);
+
+  const auto pop1 = b.popular("ch", 1);
+  EXPECT_EQ(pop1.size(), 2u);
+  // lexicographic order: 0101 < 1111
+  EXPECT_EQ(pop1[0].vec, v1);
+}
+
+TEST(Billboard, RepostOverwrites) {
+  Billboard b;
+  b.post("ch", 0, bits::BitVector::from_string("0000"));
+  b.post("ch", 0, bits::BitVector::from_string("1111"));
+  const auto pop = b.popular("ch", 1);
+  ASSERT_EQ(pop.size(), 1u);
+  EXPECT_EQ(pop[0].vec.to_string(), "1111");
+  EXPECT_EQ(b.posters("ch"), 1u);
+}
+
+TEST(Billboard, MissingChannelEmpty) {
+  Billboard b;
+  EXPECT_TRUE(b.popular("nope", 1).empty());
+  EXPECT_EQ(b.posters("nope"), 0u);
+}
+
+TEST(Billboard, ClearRemovesChannel) {
+  Billboard b;
+  b.post("ch", 0, bits::BitVector(4));
+  b.clear("ch");
+  EXPECT_EQ(b.posters("ch"), 0u);
+  EXPECT_EQ(b.total_posts(), 0u);
+}
+
+TEST(Billboard, ChannelsIndependent) {
+  Billboard b;
+  b.post("a", 0, bits::BitVector(4));
+  b.post("b", 0, bits::BitVector(8));
+  EXPECT_EQ(b.posters("a"), 1u);
+  EXPECT_EQ(b.posters("b"), 1u);
+  EXPECT_EQ(b.total_posts(), 2u);
+}
+
+TEST(Tally, GroupsByEqualityAndThreshold) {
+  std::vector<bits::BitVector> posts{
+      bits::BitVector::from_string("01"), bits::BitVector::from_string("01"),
+      bits::BitVector::from_string("10"), bits::BitVector::from_string("11"),
+      bits::BitVector::from_string("01")};
+  const auto t = tally(posts, 2);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].vec.to_string(), "01");
+  EXPECT_EQ(t[0].votes, 3u);
+
+  const auto all = tally(posts, 1);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].vec.to_string(), "01");  // lexicographic order
+  EXPECT_EQ(all[1].vec.to_string(), "10");
+  EXPECT_EQ(all[2].vec.to_string(), "11");
+}
+
+TEST(Tally, EmptyPosts) { EXPECT_TRUE(tally({}, 1).empty()); }
+
+TEST(Billboard, ConcurrentPostsSafe) {
+  Billboard b;
+  const auto v = bits::BitVector::from_string("0101");
+  engine::parallel_for(0, 128, [&](std::size_t p) {
+    b.post("ch", static_cast<matrix::PlayerId>(p), v);
+  });
+  EXPECT_EQ(b.posters("ch"), 128u);
+  const auto pop = b.popular("ch", 128);
+  ASSERT_EQ(pop.size(), 1u);
+  EXPECT_EQ(pop[0].votes, 128u);
+}
+
+}  // namespace
+}  // namespace tmwia::billboard

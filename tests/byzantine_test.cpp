@@ -1,0 +1,147 @@
+// Tests for Byzantine vote manipulation in Zero Radius: dishonest
+// players (the paper's intro: "some eBay users may be dishonest")
+// coordinate on a forged vector to cross the popularity threshold.
+// Probing-based Select defends honest adopters — a forged candidate is
+// eliminated at its first distinguishing coordinate — so correctness
+// holds even when the forgery IS popular; the attack only costs extra
+// Select probes.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tmwia/core/bit_space.hpp"
+#include "tmwia/matrix/generators.hpp"
+
+namespace tmwia::core {
+namespace {
+
+struct Setup {
+  matrix::Instance inst;
+  std::vector<PlayerId> players;
+  std::vector<std::uint32_t> objects;
+};
+
+Setup make(std::size_t n, double alpha, std::uint64_t seed) {
+  Setup s;
+  rng::Rng gen(seed);
+  s.inst = matrix::planted_community(n, n, {alpha, 0}, gen);
+  s.players.resize(n);
+  std::iota(s.players.begin(), s.players.end(), 0u);
+  s.objects.resize(n);
+  std::iota(s.objects.begin(), s.objects.end(), 0u);
+  return s;
+}
+
+std::vector<bits::BitVector> run_with_byzantine(const Setup& s, double alpha,
+                                                const std::vector<PlayerId>& liars,
+                                                const bits::BitVector& forged,
+                                                billboard::ProbeOracle& oracle,
+                                                std::uint64_t seed) {
+  BitSpace space(oracle, nullptr);
+  space.set_byzantine(liars, forged);
+  const auto raw = zero_radius(space, s.players, s.objects, alpha, Params::practical(),
+                               rng::Rng(seed), s.players.size());
+  std::vector<bits::BitVector> out;
+  out.reserve(raw.size());
+  for (const auto& row : raw) {
+    bits::BitVector v(row.size());
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (row[j] != 0) v.set(j, true);
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+TEST(Byzantine, HonestCommunitySurvivesCoordinatedForgery) {
+  const std::size_t n = 256;
+  const double alpha = 0.5;
+  auto s = make(n, alpha, 41);
+
+  // 20% of players (taken from OUTSIDE the community) coordinate on a
+  // forged vector: the bitwise complement of the community center — the
+  // most distinguishable lie.
+  const auto outsiders = s.inst.outsiders();
+  std::vector<PlayerId> liars(outsiders.begin(),
+                              outsiders.begin() + static_cast<std::ptrdiff_t>(n / 5));
+  bits::BitVector forged = s.inst.centers[0] ^ bits::BitVector(n, true);
+
+  billboard::ProbeOracle oracle(s.inst.matrix);
+  const auto outputs = run_with_byzantine(s, alpha, liars, forged, oracle, 42);
+  for (auto p : s.inst.communities[0]) {
+    EXPECT_EQ(outputs[p], s.inst.centers[0]) << "player " << p;
+  }
+}
+
+TEST(Byzantine, ForgeryCostsExtraSelectProbes) {
+  const std::size_t n = 256;
+  const double alpha = 0.5;
+  auto s = make(n, alpha, 43);
+
+  billboard::ProbeOracle clean_oracle(s.inst.matrix);
+  const auto clean = run_with_byzantine(s, alpha, {}, bits::BitVector(n), clean_oracle, 44);
+
+  const auto outsiders = s.inst.outsiders();
+  std::vector<PlayerId> liars(outsiders.begin(),
+                              outsiders.begin() + static_cast<std::ptrdiff_t>(n / 4));
+  bits::BitVector forged = s.inst.centers[0] ^ bits::BitVector(n, true);
+  billboard::ProbeOracle attacked_oracle(s.inst.matrix);
+  const auto attacked =
+      run_with_byzantine(s, alpha, liars, forged, attacked_oracle, 44);
+
+  // Same correctness...
+  for (auto p : s.inst.communities[0]) {
+    EXPECT_EQ(attacked[p], s.inst.centers[0]);
+  }
+  // ...but the forged popular candidate forces distinguishing probes.
+  EXPECT_GT(attacked_oracle.total_invocations(), clean_oracle.total_invocations());
+}
+
+TEST(Byzantine, SubtleForgeryNearTheCenterAlsoRejected) {
+  // A smarter lie: the center with a few flips (hard to distinguish —
+  // few distinguishing coordinates). Select probes exactly those.
+  const std::size_t n = 256;
+  const double alpha = 0.5;
+  auto s = make(n, alpha, 45);
+
+  const auto outsiders = s.inst.outsiders();
+  std::vector<PlayerId> liars(outsiders.begin(),
+                              outsiders.begin() + static_cast<std::ptrdiff_t>(n / 4));
+  rng::Rng frng(46);
+  bits::BitVector forged = matrix::flip_random(s.inst.centers[0], 8, frng);
+
+  billboard::ProbeOracle oracle(s.inst.matrix);
+  const auto outputs = run_with_byzantine(s, alpha, liars, forged, oracle, 47);
+  for (auto p : s.inst.communities[0]) {
+    EXPECT_EQ(outputs[p], s.inst.centers[0]) << "player " << p;
+  }
+}
+
+TEST(Byzantine, CommunityInsidersLyingOnlyHurtThemselves) {
+  // Liars drawn from inside the community: they forfeit their own
+  // adopted halves (they still *output* honestly computed values — the
+  // lie is in what they publish), and the honest remainder must still
+  // clear the vote threshold: alpha=0.5 community, 1/5 of it lies,
+  // honest fraction 0.4 still >= threshold fraction alpha/4.
+  const std::size_t n = 256;
+  const double alpha = 0.5;
+  auto s = make(n, alpha, 49);
+
+  const auto& comm = s.inst.communities[0];
+  std::vector<PlayerId> liars(comm.begin(),
+                              comm.begin() + static_cast<std::ptrdiff_t>(comm.size() / 5));
+  bits::BitVector forged = s.inst.centers[0] ^ bits::BitVector(n, true);
+
+  billboard::ProbeOracle oracle(s.inst.matrix);
+  const auto outputs = run_with_byzantine(s, alpha, liars, forged, oracle, 50);
+  std::size_t honest_exact = 0;
+  std::size_t honest_total = 0;
+  for (std::size_t i = comm.size() / 5; i < comm.size(); ++i) {
+    ++honest_total;
+    if (outputs[comm[i]] == s.inst.centers[0]) ++honest_exact;
+  }
+  EXPECT_EQ(honest_exact, honest_total);
+}
+
+}  // namespace
+}  // namespace tmwia::core

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the tmwia_cli workflow: gen -> info -> run
+# (two algorithms) -> eval. Usage: cli_workflow.sh <path-to-tmwia_cli>
+set -euo pipefail
+
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" gen --kind=planted --n=128 --m=128 --alpha=0.5 --radius=1 --seed=4 \
+       --out="$DIR/world.tmw" | grep -q "wrote planted instance"
+
+"$CLI" info --in="$DIR/world.tmw" | tee "$DIR/info.txt"
+grep -q "players: 128" "$DIR/info.txt"
+grep -q "communities: 1" "$DIR/info.txt"
+
+"$CLI" run --in="$DIR/world.tmw" --algo=unknown_d --alpha=0.5 --seed=5 \
+       --out="$DIR/est.txt" | grep -q "rounds"
+"$CLI" eval --in="$DIR/world.tmw" --outputs="$DIR/est.txt" | tee "$DIR/eval.txt"
+grep -q "overall mean error" "$DIR/eval.txt"
+
+# Solo must be exact: stretch column all zeros.
+"$CLI" run --in="$DIR/world.tmw" --algo=solo --seed=6 --out="$DIR/solo.txt" >/dev/null
+"$CLI" eval --in="$DIR/world.tmw" --outputs="$DIR/solo.txt" | grep -q "0.00"
+
+# Bad inputs fail cleanly.
+if "$CLI" run --in="$DIR/world.tmw" --algo=nonsense --out=/dev/null 2>/dev/null; then
+  echo "expected failure for unknown algo" >&2
+  exit 1
+fi
+if "$CLI" info --in="$DIR/missing.tmw" 2>/dev/null; then
+  echo "expected failure for missing file" >&2
+  exit 1
+fi
+
+echo "cli workflow OK"

@@ -1,0 +1,189 @@
+// Tests for Algorithm Coalesce (Fig. 6 / Theorem 5.3): output size at
+// most ~1/alpha, a unique representative close to every member of a
+// planted cluster, bounded ?-entries, determinism, and probe-freeness
+// (trivially: the API takes no oracle).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tmwia/bits/hamming.hpp"
+#include "tmwia/core/coalesce.hpp"
+#include "tmwia/matrix/generators.hpp"
+#include "tmwia/rng/rng.hpp"
+
+namespace tmwia::core {
+namespace {
+
+using bits::BitVector;
+using bits::TriVector;
+
+TEST(Coalesce, EmptyInput) {
+  const auto res = coalesce({}, 2, 1);
+  EXPECT_TRUE(res.candidates.empty());
+}
+
+TEST(Coalesce, SingleClusterCollapsesToOneCandidate) {
+  rng::Rng rng(1);
+  const auto center = matrix::random_vector(128, rng);
+  std::vector<BitVector> vs;
+  for (int i = 0; i < 20; ++i) vs.push_back(matrix::flip_random(center, 2, rng));
+
+  const auto res = coalesce(vs, 4, 10);
+  ASSERT_EQ(res.candidates.size(), 1u);
+  EXPECT_LE(res.candidates[0].dtilde(center), 8u);
+}
+
+TEST(Coalesce, UnderPopulatedInputYieldsNothing) {
+  rng::Rng rng(2);
+  std::vector<BitVector> vs;
+  for (int i = 0; i < 5; ++i) vs.push_back(matrix::random_vector(256, rng));
+  // Random 256-bit vectors are pairwise ~128 apart; min_ball 3 with
+  // D=10 removes everything.
+  const auto res = coalesce(vs, 10, 3);
+  EXPECT_TRUE(res.candidates.empty());
+}
+
+TEST(Coalesce, TwoFarClustersStayDistinct) {
+  rng::Rng rng(3);
+  const auto c1 = matrix::random_vector(256, rng);
+  const auto c2 = matrix::flip_random(c1, 200, rng);
+  std::vector<BitVector> vs;
+  for (int i = 0; i < 12; ++i) vs.push_back(matrix::flip_random(c1, 1, rng));
+  for (int i = 0; i < 12; ++i) vs.push_back(matrix::flip_random(c2, 1, rng));
+
+  const auto res = coalesce(vs, 2, 8);
+  ASSERT_EQ(res.candidates.size(), 2u);
+  // One candidate near each center.
+  const std::size_t d11 = res.candidates[0].dtilde(c1);
+  const std::size_t d12 = res.candidates[0].dtilde(c2);
+  EXPECT_TRUE((d11 <= 4) != (d12 <= 4));
+}
+
+TEST(Coalesce, NearClustersMergeWithQuestionMarks) {
+  // Two clusters within the 5D merge radius of each other produce one
+  // merged candidate whose disagreements became '?'. (With D = 1 the
+  // merge bound is 5; the centers are 2 apart.)
+  const auto a = BitVector::from_string("00000000");
+  const auto b = BitVector::from_string("00000011");
+  std::vector<BitVector> vs;
+  for (int i = 0; i < 6; ++i) vs.push_back(a);
+  for (int i = 0; i < 6; ++i) vs.push_back(b);
+
+  const auto res = coalesce(vs, 1, 4);
+  ASSERT_EQ(res.candidates.size(), 1u);
+  EXPECT_EQ(res.candidates[0].to_string(), "000000??");
+  EXPECT_EQ(res.pre_merge_count, 2u);
+}
+
+TEST(Coalesce, MergeBoundRespected) {
+  // Same two clusters, but with merge_mult 0 they must NOT merge
+  // (dtilde = 2 > 0).
+  const auto a = BitVector::from_string("00000000");
+  const auto b = BitVector::from_string("00000011");
+  std::vector<BitVector> vs;
+  for (int i = 0; i < 6; ++i) vs.push_back(a);
+  for (int i = 0; i < 6; ++i) vs.push_back(b);
+
+  const auto res = coalesce(vs, 0, 4, /*merge_mult=*/0.0);
+  EXPECT_EQ(res.candidates.size(), 2u);
+}
+
+TEST(Coalesce, Deterministic) {
+  rng::Rng rng(4);
+  std::vector<BitVector> vs;
+  const auto center = matrix::random_vector(64, rng);
+  for (int i = 0; i < 30; ++i) vs.push_back(matrix::flip_random(center, 3, rng));
+  for (int i = 0; i < 10; ++i) vs.push_back(matrix::random_vector(64, rng));
+
+  const auto r1 = coalesce(vs, 6, 15);
+  const auto r2 = coalesce(vs, 6, 15);
+  EXPECT_EQ(r1.candidates, r2.candidates);
+}
+
+// Theorem 5.3 property sweep: plant an (alpha, D)-cluster among noise;
+// verify output size <= 1/alpha', a unique closest representative
+// within 2D of every cluster member, and <= 5D/alpha' question marks.
+struct CoalesceCase {
+  std::size_t n;
+  std::size_t m;
+  std::size_t D;
+  double alpha;
+  std::uint64_t seed;
+};
+
+class CoalesceProperty : public ::testing::TestWithParam<CoalesceCase> {};
+
+TEST_P(CoalesceProperty, Theorem53Properties) {
+  const auto [n, m, D, alpha, seed] = GetParam();
+  rng::Rng rng(seed);
+
+  const auto center = matrix::random_vector(m, rng);
+  const auto cluster_size = static_cast<std::size_t>(alpha * static_cast<double>(n));
+  std::vector<BitVector> vs;
+  std::vector<std::size_t> cluster_idx;
+  for (std::size_t i = 0; i < cluster_size; ++i) {
+    cluster_idx.push_back(vs.size());
+    vs.push_back(matrix::flip_random(center, rng.uniform(D / 2 + 1), rng));
+  }
+  while (vs.size() < n) vs.push_back(matrix::random_vector(m, rng));
+
+  const auto min_ball = cluster_size;
+  const auto res = coalesce(vs, D, min_ball);
+
+  // Size bound: each pre-merge representative accounts for >= min_ball
+  // distinct input vectors.
+  EXPECT_LE(res.pre_merge_count, n / min_ball);
+  EXPECT_LE(res.candidates.size(), res.pre_merge_count);
+  ASSERT_FALSE(res.candidates.empty());
+
+  // A unique candidate within 2D of every cluster member.
+  std::size_t close_candidates = 0;
+  std::size_t best = 0;
+  for (std::size_t c = 0; c < res.candidates.size(); ++c) {
+    bool close_to_all = true;
+    for (std::size_t i : cluster_idx) {
+      if (res.candidates[c].dtilde(vs[i]) > 2 * D) {
+        close_to_all = false;
+        break;
+      }
+    }
+    if (close_to_all) {
+      ++close_candidates;
+      best = c;
+    }
+  }
+  EXPECT_EQ(close_candidates, 1u);
+
+  // ?-entries bound: 5D per merge, at most |A|-1 merges, so
+  // 5D * pre_merge_count is a safe form of the paper's 5D/alpha.
+  EXPECT_LE(res.candidates[best].unknown_count(), 5 * D * res.pre_merge_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CoalesceProperty,
+                         ::testing::Values(CoalesceCase{40, 256, 4, 0.5, 11},
+                                           CoalesceCase{60, 256, 8, 0.3, 12},
+                                           CoalesceCase{80, 512, 6, 0.25, 13},
+                                           CoalesceCase{100, 512, 10, 0.2, 14},
+                                           CoalesceCase{120, 512, 12, 0.5, 15},
+                                           CoalesceCase{150, 1024, 16, 0.3, 16}));
+
+TEST(Coalesce, RepresentativeNeverAssertsAncestorDisagreement) {
+  // Lemma 5.1: for input v and any representative u it merged into,
+  // dtilde(v, rep) <= dist(v, u). Build a three-way merge chain and
+  // check all inputs.
+  std::vector<BitVector> vs;
+  for (int i = 0; i < 4; ++i) vs.push_back(BitVector::from_string("000000"));
+  for (int i = 0; i < 4; ++i) vs.push_back(BitVector::from_string("000011"));
+  for (int i = 0; i < 4; ++i) vs.push_back(BitVector::from_string("001100"));
+
+  const auto res = coalesce(vs, 1, 3);
+  ASSERT_EQ(res.candidates.size(), 1u);
+  const auto& rep = res.candidates[0];
+  EXPECT_EQ(rep.to_string(), "00????");
+  for (const auto& v : vs) {
+    EXPECT_EQ(rep.dtilde(v), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace tmwia::core

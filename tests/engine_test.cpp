@@ -1,0 +1,93 @@
+// Tests for the execution engine: thread pool lifecycle, parallel_for
+// coverage, exception propagation, determinism of result placement.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "tmwia/engine/thread_pool.hpp"
+
+namespace tmwia::engine {
+namespace {
+
+TEST(ThreadPool, ConstructsWithRequestedThreads) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](std::size_t i) { hits[i].fetch_add(1); }, 16);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingleton) {
+  int calls = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, OffsetRange) {
+  std::atomic<std::size_t> sum{0};
+  parallel_for(100, 200, [&](std::size_t i) { sum.fetch_add(i); }, 8);
+  EXPECT_EQ(sum.load(), (100u + 199u) * 100u / 2u);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(0, 500,
+                   [](std::size_t i) {
+                     if (i == 250) throw std::runtime_error("boom");
+                   },
+                   4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ResultsIndependentOfGrain) {
+  std::vector<int> a(512), b(512);
+  parallel_for(0, 512, [&](std::size_t i) { a[i] = static_cast<int>(i * i % 97); }, 1);
+  parallel_for(0, 512, [&](std::size_t i) { b[i] = static_cast<int>(i * i % 97); }, 200);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParallelFor, SmallRangeRunsSerial) {
+  // Under the grain threshold the body runs on the calling thread, so
+  // thread-unsafe captures are fine.
+  std::vector<int> order;
+  parallel_for(0, 10, [&](std::size_t i) { order.push_back(static_cast<int>(i)); }, 64);
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+}  // namespace
+}  // namespace tmwia::engine

@@ -1,0 +1,156 @@
+// End-to-end tests for the main algorithm (Fig. 1), the unknown-D
+// search and the anytime driver (Section 6) — i.e. Theorem 1.1: after
+// polylog rounds every typical player has constant-stretch output.
+#include <gtest/gtest.h>
+
+#include "tmwia/billboard/billboard.hpp"
+#include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/core/find_preferences.hpp"
+#include "tmwia/matrix/generators.hpp"
+
+namespace tmwia::core {
+namespace {
+
+TEST(FindPreferences, DispatchZeroRadius) {
+  rng::Rng gen(1);
+  auto inst = matrix::planted_community(128, 128, {0.5, 0}, gen);
+  billboard::ProbeOracle oracle(inst.matrix);
+  const auto res =
+      find_preferences(oracle, nullptr, 0.5, 0, Params::practical(), rng::Rng(2));
+  EXPECT_EQ(res.branch, Branch::kZeroRadius);
+  for (PlayerId p : inst.communities[0]) {
+    EXPECT_EQ(res.outputs[p], inst.centers[0]);
+  }
+  EXPECT_GT(res.rounds, 0u);
+  EXPECT_GT(res.total_probes, 0u);
+}
+
+TEST(FindPreferences, DispatchSmallRadius) {
+  rng::Rng gen(3);
+  auto inst = matrix::planted_community(256, 256, {0.5, 2}, gen);
+  billboard::ProbeOracle oracle(inst.matrix);
+  const auto res =
+      find_preferences(oracle, nullptr, 0.5, 4, Params::practical(), rng::Rng(4));
+  EXPECT_EQ(res.branch, Branch::kSmallRadius);
+  for (PlayerId p : inst.communities[0]) {
+    EXPECT_LE(res.outputs[p].hamming(inst.matrix.row(p)), 20u);
+  }
+}
+
+TEST(FindPreferences, DispatchLargeRadius) {
+  rng::Rng gen(5);
+  auto inst = matrix::planted_community(256, 512, {0.5, 24}, gen);
+  const auto D = inst.matrix.subset_diameter(inst.communities[0]);
+  ASSERT_GT(D, 8u);  // must exceed the small-radius cutoff at n = 256
+  billboard::ProbeOracle oracle(inst.matrix);
+  const auto res =
+      find_preferences(oracle, nullptr, 0.5, D, Params::practical(), rng::Rng(6));
+  EXPECT_EQ(res.branch, Branch::kLargeRadius);
+  for (PlayerId p : inst.communities[0]) {
+    EXPECT_LE(res.outputs[p].hamming(inst.matrix.row(p)), 4 * D);
+  }
+}
+
+struct UnknownDCase {
+  std::size_t n;
+  std::size_t m;
+  double alpha;
+  std::size_t radius;
+  double stretch_bound;
+  std::uint64_t seed;
+};
+
+class UnknownD : public ::testing::TestWithParam<UnknownDCase> {};
+
+TEST_P(UnknownD, ConstantStretchWithoutKnowingD) {
+  const auto [n, m, alpha, radius, stretch_bound, seed] = GetParam();
+  rng::Rng gen(seed);
+  auto inst = matrix::planted_community(n, m, {alpha, radius}, gen);
+  const auto D = inst.matrix.subset_diameter(inst.communities[0]);
+
+  billboard::ProbeOracle oracle(inst.matrix);
+  const auto res =
+      find_preferences_unknown_d(oracle, nullptr, alpha, Params::practical(), rng::Rng(seed));
+
+  ASSERT_EQ(res.outputs.size(), n);
+  const double stretch = inst.matrix.stretch(res.outputs, inst.communities[0]);
+  EXPECT_LE(stretch, stretch_bound)
+      << "discrepancy " << inst.matrix.discrepancy(res.outputs, inst.communities[0])
+      << " over diameter " << D;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UnknownD,
+                         ::testing::Values(UnknownDCase{128, 128, 0.5, 2, 6.0, 201},
+                                           UnknownDCase{256, 256, 0.5, 4, 6.0, 202},
+                                           UnknownDCase{256, 256, 0.5, 16, 6.0, 203},
+                                           UnknownDCase{256, 512, 0.25, 8, 8.0, 204}));
+
+TEST(UnknownDDetail, GuessesAreGeometric) {
+  rng::Rng gen(7);
+  auto inst = matrix::planted_community(64, 64, {1.0, 0}, gen);
+  billboard::ProbeOracle oracle(inst.matrix);
+  const auto res =
+      find_preferences_unknown_d(oracle, nullptr, 1.0, Params::practical(), rng::Rng(8));
+  ASSERT_GE(res.guesses.size(), 3u);
+  EXPECT_EQ(res.guesses[0], 0u);
+  EXPECT_EQ(res.guesses[1], 1u);
+  for (std::size_t i = 2; i < res.guesses.size(); ++i) {
+    EXPECT_EQ(res.guesses[i], res.guesses[i - 1] * 2);
+  }
+  EXPECT_LT(res.guesses.back(), 64u);
+}
+
+TEST(UnknownDDetail, ChosenDRecorded) {
+  rng::Rng gen(9);
+  auto inst = matrix::planted_community(128, 128, {1.0, 0}, gen);
+  billboard::ProbeOracle oracle(inst.matrix);
+  const auto res =
+      find_preferences_unknown_d(oracle, nullptr, 1.0, Params::practical(), rng::Rng(10));
+  ASSERT_EQ(res.chosen_d.size(), 128u);
+  // With an exact-agreement community, the D = 0 version is already
+  // perfect, so the chosen D should be small for community members.
+  for (PlayerId p : inst.communities[0]) {
+    EXPECT_EQ(res.outputs[p], inst.centers[0]);
+  }
+}
+
+TEST(Anytime, PhasesProgressAndRespectBudget) {
+  rng::Rng gen(11);
+  auto inst = matrix::planted_community(128, 128, {0.5, 2}, gen);
+  billboard::ProbeOracle oracle(inst.matrix);
+  const auto res = anytime(oracle, nullptr, /*round_budget=*/2000, Params::practical(),
+                           rng::Rng(12));
+  ASSERT_FALSE(res.phases.empty());
+  // Phases run alpha = 1/2, 1/4, ... and cumulative cost increases.
+  EXPECT_DOUBLE_EQ(res.phases[0].alpha, 0.5);
+  for (std::size_t i = 1; i < res.phases.size(); ++i) {
+    EXPECT_DOUBLE_EQ(res.phases[i].alpha, res.phases[i - 1].alpha / 2);
+    EXPECT_GE(res.phases[i].rounds, res.phases[i - 1].rounds);
+  }
+}
+
+TEST(Anytime, QualityReasonableAfterEnoughPhases) {
+  rng::Rng gen(13);
+  auto inst = matrix::planted_community(128, 128, {0.5, 2}, gen);
+  const auto D = inst.matrix.subset_diameter(inst.communities[0]);
+  billboard::ProbeOracle oracle(inst.matrix);
+  const auto res =
+      anytime(oracle, nullptr, /*round_budget=*/100000, Params::practical(), rng::Rng(14));
+  const auto disc = inst.matrix.discrepancy(res.outputs, inst.communities[0]);
+  EXPECT_LE(disc, 6 * std::max<std::size_t>(D, 1));
+}
+
+TEST(FindPreferences, RoundsPolylogWhileSoloIsLinear) {
+  // Theorem 1.1 shape at a fixed size: the whole unknown-D stack costs
+  // far fewer rounds than the m rounds of solo probing.
+  const std::size_t n = 1024;
+  rng::Rng gen(15);
+  auto inst = matrix::planted_community(n, n, {0.5, 0}, gen);
+  billboard::ProbeOracle oracle(inst.matrix);
+  const auto res =
+      find_preferences(oracle, nullptr, 0.5, 0, Params::practical(), rng::Rng(16));
+  EXPECT_LT(res.rounds, n / 8);
+}
+
+}  // namespace
+}  // namespace tmwia::core

@@ -1,0 +1,76 @@
+// Tests for the io module: table rendering, CSV output, arg parsing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tmwia/io/args.hpp"
+#include "tmwia/io/table.hpp"
+
+namespace tmwia::io {
+namespace {
+
+TEST(Table, RejectsNoColumns) {
+  EXPECT_THROW(Table("t", {}), std::invalid_argument);
+}
+
+TEST(Table, RejectsWrongCellCount) {
+  Table t("t", {{"a"}, {"b"}});
+  EXPECT_THROW(t.add_row({Cell{std::string("x")}}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t("demo", {{"name"}, {"count"}, {"ratio", 2}});
+  t.add_row({std::string("alpha"), 42LL, 0.3333});
+  t.add_row({std::string("b"), 7LL, 12.5});
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("0.33"), std::string::npos);
+  EXPECT_NE(s.find("12.50"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvFormat) {
+  Table t("demo", {{"x"}, {"y", 1}});
+  t.add_row({1LL, 2.0});
+  t.add_row({3LL, 4.5});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2.0\n3,4.5\n");
+}
+
+TEST(Args, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--n=128", "--alpha=0.5", "--verbose", "--name=test"};
+  Args a(5, argv);
+  EXPECT_EQ(a.get_int("n", 0), 128);
+  EXPECT_DOUBLE_EQ(a.get_double("alpha", 0.0), 0.5);
+  EXPECT_TRUE(a.get_flag("verbose"));
+  EXPECT_FALSE(a.get_flag("quiet"));
+  EXPECT_EQ(*a.get("name"), "test");
+  EXPECT_EQ(a.program(), "prog");
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Args a(1, argv);
+  EXPECT_EQ(a.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(a.get_seed("seed", 99u), 99u);
+  EXPECT_FALSE(a.get("missing").has_value());
+}
+
+TEST(Args, RejectsPositional) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Args(2, argv), std::invalid_argument);
+}
+
+TEST(Args, SeedParsesLargeValues) {
+  const char* argv[] = {"prog", "--seed=18446744073709551615"};
+  Args a(2, argv);
+  EXPECT_EQ(a.get_seed("seed", 0), 18446744073709551615ull);
+}
+
+}  // namespace
+}  // namespace tmwia::io

@@ -1,0 +1,121 @@
+// Integration tests for Algorithm Large Radius (Fig. 5 / Theorem 5.4):
+// O(D/alpha) output error for planted communities of large diameter,
+// agreement of typical players, and cost scaling.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tmwia/billboard/billboard.hpp"
+#include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/core/large_radius.hpp"
+#include "tmwia/matrix/generators.hpp"
+
+namespace tmwia::core {
+namespace {
+
+std::vector<PlayerId> iota_players(std::size_t n) {
+  std::vector<PlayerId> p(n);
+  std::iota(p.begin(), p.end(), 0u);
+  return p;
+}
+
+std::vector<std::uint32_t> iota_objects(std::size_t m) {
+  std::vector<std::uint32_t> o(m);
+  std::iota(o.begin(), o.end(), 0u);
+  return o;
+}
+
+TEST(LargeRadius, RejectsBadAlpha) {
+  matrix::PreferenceMatrix mat(4, 4);
+  billboard::ProbeOracle oracle(mat);
+  EXPECT_THROW(large_radius(oracle, nullptr, iota_players(4), iota_objects(4), 1.5, 8,
+                            Params::practical(), rng::Rng(1)),
+               std::invalid_argument);
+}
+
+struct LrCase {
+  std::size_t n;
+  std::size_t m;
+  double alpha;
+  std::size_t radius;
+  double error_factor;  // allowed multiple of D on the output error
+  std::uint64_t seed;
+};
+
+class LargeRadiusGuarantee : public ::testing::TestWithParam<LrCase> {};
+
+TEST_P(LargeRadiusGuarantee, OutputWithinConstantTimesDOverAlpha) {
+  const auto [n, m, alpha, radius, error_factor, seed] = GetParam();
+  rng::Rng gen(seed);
+  auto inst = matrix::planted_community(n, m, {alpha, radius}, gen);
+  const auto D = inst.matrix.subset_diameter(inst.communities[0]);
+  ASSERT_GT(D, 0u);
+
+  billboard::ProbeOracle oracle(inst.matrix);
+  billboard::Billboard board;
+  const auto res = large_radius(oracle, &board, iota_players(n), iota_objects(m), alpha, D,
+                                Params::practical(), rng::Rng(seed ^ 0x717));
+
+  const auto bound = static_cast<std::size_t>(
+      error_factor * static_cast<double>(D) / alpha);
+  for (PlayerId p : inst.communities[0]) {
+    EXPECT_LE(res.outputs[p].hamming(inst.matrix.row(p)), bound) << "player " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LargeRadiusGuarantee,
+                         ::testing::Values(LrCase{256, 512, 0.5, 16, 4.0, 71},
+                                           LrCase{256, 512, 0.5, 24, 4.0, 72},
+                                           LrCase{512, 1024, 0.5, 32, 4.0, 73},
+                                           LrCase{512, 1024, 0.25, 24, 4.0, 74}));
+
+TEST(LargeRadius, TypicalPlayersAgreeOnOutput) {
+  // Step 4 ends with all typical players adopting identical candidate
+  // indices, so their final vectors coincide w.h.p.
+  const std::size_t n = 256;
+  const std::size_t m = 512;
+  rng::Rng gen(81);
+  auto inst = matrix::planted_community(n, m, {0.5, 16}, gen);
+  const auto D = inst.matrix.subset_diameter(inst.communities[0]);
+
+  billboard::ProbeOracle oracle(inst.matrix);
+  const auto res = large_radius(oracle, nullptr, iota_players(n), iota_objects(m), 0.5, D,
+                                Params::practical(), rng::Rng(82));
+
+  const auto& first = res.outputs[inst.communities[0][0]];
+  for (PlayerId p : inst.communities[0]) {
+    EXPECT_EQ(res.outputs[p], first) << "player " << p;
+  }
+}
+
+TEST(LargeRadius, DiagnosticsPopulated) {
+  const std::size_t n = 256;
+  rng::Rng gen(91);
+  auto inst = matrix::planted_community(n, n, {0.5, 20}, gen);
+  const auto D = inst.matrix.subset_diameter(inst.communities[0]);
+
+  billboard::ProbeOracle oracle(inst.matrix);
+  const auto res = large_radius(oracle, nullptr, iota_players(n), iota_objects(n), 0.5, D,
+                                Params::practical(), rng::Rng(92));
+  EXPECT_GE(res.parts, 1u);
+  EXPECT_GE(res.lambda, 1u);
+  EXPECT_GE(res.max_candidates, 1u);
+  EXPECT_GE(res.player_copies, 1u);
+}
+
+TEST(LargeRadius, DeterministicGivenSeed) {
+  const std::size_t n = 128;
+  rng::Rng gen(95);
+  auto inst = matrix::planted_community(n, n, {0.5, 12}, gen);
+
+  billboard::ProbeOracle o1(inst.matrix);
+  billboard::ProbeOracle o2(inst.matrix);
+  const auto r1 = large_radius(o1, nullptr, iota_players(n), iota_objects(n), 0.5, 24,
+                               Params::practical(), rng::Rng(96));
+  const auto r2 = large_radius(o2, nullptr, iota_players(n), iota_objects(n), 0.5, 24,
+                               Params::practical(), rng::Rng(96));
+  EXPECT_EQ(r1.outputs, r2.outputs);
+}
+
+}  // namespace
+}  // namespace tmwia::core

@@ -1,0 +1,163 @@
+// Integration tests for Algorithm Zero Radius (Fig. 2 / Theorem 3.1):
+// correctness for planted identical-preference communities and the
+// O(log n / alpha) per-player probe bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "tmwia/billboard/billboard.hpp"
+#include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/core/bit_space.hpp"
+#include "tmwia/core/params.hpp"
+#include "tmwia/matrix/generators.hpp"
+
+namespace tmwia::core {
+namespace {
+
+std::vector<PlayerId> iota_players(std::size_t n) {
+  std::vector<PlayerId> p(n);
+  std::iota(p.begin(), p.end(), 0u);
+  return p;
+}
+
+std::vector<std::uint32_t> iota_objects(std::size_t m) {
+  std::vector<std::uint32_t> o(m);
+  std::iota(o.begin(), o.end(), 0u);
+  return o;
+}
+
+struct ZrCase {
+  std::size_t n;
+  double alpha;
+  std::uint64_t seed;
+};
+
+class ZeroRadiusCorrectness : public ::testing::TestWithParam<ZrCase> {};
+
+TEST_P(ZeroRadiusCorrectness, CommunityMembersOutputExactVector) {
+  const auto [n, alpha, seed] = GetParam();
+  const std::size_t m = n;
+  rng::Rng gen(seed);
+  auto inst = matrix::planted_community(n, m, {alpha, 0}, gen);
+
+  billboard::ProbeOracle oracle(inst.matrix);
+  billboard::Billboard board;
+  const auto outputs =
+      zero_radius_bits(oracle, &board, iota_players(n), iota_objects(m), alpha,
+                       Params::practical(), rng::Rng(seed ^ 0xf00));
+
+  for (PlayerId p : inst.communities[0]) {
+    EXPECT_EQ(outputs[p], inst.centers[0]) << "player " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ZeroRadiusCorrectness,
+                         ::testing::Values(ZrCase{64, 1.0, 1}, ZrCase{128, 0.5, 2},
+                                           ZrCase{256, 0.5, 3}, ZrCase{256, 0.25, 4},
+                                           ZrCase{512, 0.25, 5}, ZrCase{512, 0.125, 6}));
+
+TEST(ZeroRadius, ProbeCostLogarithmicPerPlayer) {
+  // Theorem 3.1: O(log n / alpha) probes per player. Verify against the
+  // explicit form c * (leaf_threshold + log2(n) * vote_candidates),
+  // which is what the recursion costs with our practical constants.
+  const std::size_t n = 1024;
+  const double alpha = 0.5;
+  rng::Rng gen(77);
+  auto inst = matrix::planted_community(n, n, {alpha, 0}, gen);
+
+  billboard::ProbeOracle oracle(inst.matrix);
+  const auto params = Params::practical();
+  (void)zero_radius_bits(oracle, nullptr, iota_players(n), iota_objects(n), alpha, params,
+                         rng::Rng(78));
+
+  const double log_n = std::log2(static_cast<double>(n));
+  const double leaf = static_cast<double>(zero_radius_leaf_threshold(n, alpha, params));
+  // leaf probes + per-level Select(<=2/alpha candidates, D=0) probing at
+  // most one distinguishing coordinate per eliminated candidate, over
+  // log2 n levels; factor 4 headroom.
+  const double bound = 4.0 * (leaf + log_n * 2.0 / alpha);
+  EXPECT_LT(static_cast<double>(oracle.max_invocations()), bound);
+}
+
+TEST(ZeroRadius, MuchCheaperThanSoloForLargeN) {
+  const std::size_t n = 2048;
+  const double alpha = 0.5;
+  rng::Rng gen(99);
+  auto inst = matrix::planted_community(n, n, {alpha, 0}, gen);
+
+  billboard::ProbeOracle oracle(inst.matrix);
+  (void)zero_radius_bits(oracle, nullptr, iota_players(n), iota_objects(n), alpha,
+                         Params::practical(), rng::Rng(100));
+  // Solo probing costs m = 2048 rounds; the collaborative algorithm
+  // should be at least 10x cheaper per player at this size.
+  EXPECT_LT(oracle.max_invocations(), n / 10);
+}
+
+TEST(ZeroRadius, LeafCaseProbesEverythingAndIsExact) {
+  // Tiny instance: below the leaf threshold everyone probes all
+  // objects, so every player (typical or not) is exact.
+  const std::size_t n = 8;
+  rng::Rng gen(5);
+  auto inst = matrix::uniform_random(n, n, gen);
+
+  billboard::ProbeOracle oracle(inst.matrix);
+  const auto outputs = zero_radius_bits(oracle, nullptr, iota_players(n), iota_objects(n), 0.5,
+                                        Params::practical(), rng::Rng(6));
+  for (PlayerId p = 0; p < n; ++p) {
+    EXPECT_EQ(outputs[p], inst.matrix.row(p));
+  }
+}
+
+TEST(ZeroRadius, SubsetOfPlayersAndObjects) {
+  // The algorithm must work on arbitrary player/object subsets (Small
+  // Radius calls it per part).
+  const std::size_t n = 300;
+  const std::size_t m = 400;
+  rng::Rng gen(7);
+  auto inst = matrix::planted_community(n, m, {0.6, 0}, gen);
+
+  // Take a subset of objects and the community players plus noise.
+  std::vector<std::uint32_t> objects;
+  for (std::uint32_t o = 10; o < 200; o += 3) objects.push_back(o);
+
+  billboard::ProbeOracle oracle(inst.matrix);
+  const auto players = iota_players(n);
+  const auto outputs = zero_radius_bits(oracle, nullptr, players, objects, 0.6,
+                                        Params::practical(), rng::Rng(8));
+
+  const auto expected = inst.centers[0].project(objects);
+  for (PlayerId p : inst.communities[0]) {
+    EXPECT_EQ(outputs[p], expected);
+  }
+}
+
+TEST(ZeroRadius, DeterministicGivenSeed) {
+  const std::size_t n = 128;
+  rng::Rng gen(123);
+  auto inst = matrix::planted_community(n, n, {0.5, 0}, gen);
+
+  billboard::ProbeOracle o1(inst.matrix);
+  billboard::ProbeOracle o2(inst.matrix);
+  const auto r1 = zero_radius_bits(o1, nullptr, iota_players(n), iota_objects(n), 0.5,
+                                   Params::practical(), rng::Rng(9));
+  const auto r2 = zero_radius_bits(o2, nullptr, iota_players(n), iota_objects(n), 0.5,
+                                   Params::practical(), rng::Rng(9));
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(o1.total_invocations(), o2.total_invocations());
+}
+
+TEST(ZeroRadius, PostsAppearOnBillboard) {
+  const std::size_t n = 64;
+  rng::Rng gen(55);
+  auto inst = matrix::planted_community(n, n, {1.0, 0}, gen);
+
+  billboard::ProbeOracle oracle(inst.matrix);
+  billboard::Billboard board;
+  (void)zero_radius_bits(oracle, &board, iota_players(n), iota_objects(n), 1.0,
+                         Params::practical(), rng::Rng(56), "t");
+  EXPECT_GT(board.total_posts(), 0u);
+}
+
+}  // namespace
+}  // namespace tmwia::core

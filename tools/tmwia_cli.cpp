@@ -1,0 +1,196 @@
+// tmwia_cli — command-line driver for the library.
+//
+//   tmwia_cli gen  --kind=planted --n=256 --m=256 --alpha=0.5 --radius=2 \
+//                  --seed=1 --out=world.tmw
+//   tmwia_cli info --in=world.tmw
+//   tmwia_cli run  --in=world.tmw --algo=unknown_d --alpha=0.5 \
+//                  --seed=2 --out=estimates.txt
+//   tmwia_cli eval --in=world.tmw --outputs=estimates.txt
+//
+// `gen` writes an instance file (matrix + planted structure), `run`
+// executes an algorithm against it through a fresh ProbeOracle and
+// writes per-player estimates, `eval` scores estimates against the
+// hidden truth, `info` prints the instance's shape and community
+// structure. Every subcommand is deterministic given --seed.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "tmwia/baselines/baselines.hpp"
+#include "tmwia/core/tmwia.hpp"
+#include "tmwia/io/args.hpp"
+#include "tmwia/io/serialize.hpp"
+#include "tmwia/io/table.hpp"
+
+using namespace tmwia;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: tmwia_cli <gen|info|run|eval> [--key=value ...]\n"
+      "  gen   --kind=planted|multi|adversarial|markov|lowrank|uniform\n"
+      "        --n=N --m=M [--alpha=A --radius=R --types=K --noise=F]\n"
+      "        --seed=S --out=FILE\n"
+      "  info  --in=FILE\n"
+      "  run   --in=FILE --algo=zero|small|large|unknown_d|anytime|solo|knn|svd\n"
+      "        [--alpha=A --d=D --profile=practical|paper --budget=B]\n"
+      "        --seed=S --out=FILE\n"
+      "  eval  --in=FILE --outputs=FILE\n";
+  return 2;
+}
+
+std::string require(const io::Args& args, const std::string& key) {
+  const auto v = args.get(key);
+  if (!v) throw std::runtime_error("missing required --" + key);
+  return *v;
+}
+
+int cmd_gen(const io::Args& args) {
+  const auto kind = require(args, "kind");
+  const auto n = static_cast<std::size_t>(args.get_int("n", 256));
+  const auto m = static_cast<std::size_t>(args.get_int("m", 256));
+  const double alpha = args.get_double("alpha", 0.5);
+  const auto radius = static_cast<std::size_t>(args.get_int("radius", 0));
+  const auto types = static_cast<std::size_t>(args.get_int("types", 4));
+  const double noise = args.get_double("noise", 0.1);
+  rng::Rng rng(args.get_seed("seed", 1));
+
+  matrix::Instance inst;
+  if (kind == "planted") {
+    inst = matrix::planted_community(n, m, {alpha, radius}, rng);
+  } else if (kind == "multi") {
+    inst = matrix::planted_communities(
+        n, m, {{alpha / 2, radius}, {alpha / 2, radius * 2}}, rng);
+  } else if (kind == "adversarial") {
+    inst = matrix::adversarial_diversity(n, m, types, radius, noise, rng);
+  } else if (kind == "markov") {
+    inst = matrix::markov_type_model(n, m, types, noise, rng);
+  } else if (kind == "lowrank") {
+    inst = matrix::low_rank_model(n, m, types, noise, rng);
+  } else if (kind == "uniform") {
+    inst = matrix::uniform_random(n, m, rng);
+  } else {
+    throw std::runtime_error("unknown --kind=" + kind);
+  }
+
+  io::save_instance_file(inst, require(args, "out"));
+  std::cout << "wrote " << kind << " instance: " << n << " players x " << m
+            << " objects, " << inst.communities.size() << " communities\n";
+  return 0;
+}
+
+int cmd_info(const io::Args& args) {
+  const auto inst = io::load_instance_file(require(args, "in"));
+  std::cout << "players: " << inst.matrix.players() << "\nobjects: "
+            << inst.matrix.objects() << "\ncommunities: " << inst.communities.size()
+            << '\n';
+  for (std::size_t c = 0; c < inst.communities.size(); ++c) {
+    const auto& ids = inst.communities[c];
+    std::cout << "  community " << c << ": " << ids.size() << " players, diameter "
+              << inst.matrix.subset_diameter(ids) << '\n';
+  }
+  return 0;
+}
+
+int cmd_run(const io::Args& args) {
+  const auto inst = io::load_instance_file(require(args, "in"));
+  const auto algo = args.get("algo").value_or("unknown_d");
+  const double alpha = args.get_double("alpha", 0.5);
+  const auto seed = args.get_seed("seed", 1);
+  const auto profile = args.get("profile").value_or("practical");
+  const auto params =
+      profile == "paper" ? core::Params::paper() : core::Params::practical();
+
+  billboard::ProbeOracle oracle(inst.matrix);
+  billboard::Billboard board;
+  std::vector<bits::BitVector> outputs;
+
+  if (algo == "unknown_d") {
+    outputs = core::find_preferences_unknown_d(oracle, &board, alpha, params, rng::Rng(seed))
+                  .outputs;
+  } else if (algo == "zero" || algo == "small" || algo == "large") {
+    const auto d = static_cast<std::size_t>(args.get_int("d", algo == "zero" ? 0 : 8));
+    outputs = core::find_preferences(oracle, &board, alpha, d, params, rng::Rng(seed))
+                  .outputs;
+  } else if (algo == "anytime") {
+    const auto budget = static_cast<std::uint64_t>(
+        args.get_int("budget", static_cast<std::int64_t>(inst.matrix.objects()) * 4));
+    outputs = core::anytime(oracle, &board, budget, params, rng::Rng(seed)).outputs;
+  } else if (algo == "solo") {
+    outputs = baselines::solo_probing(oracle).outputs;
+  } else if (algo == "knn") {
+    baselines::KnnParams kp;
+    kp.probes_per_player = static_cast<std::size_t>(
+        args.get_int("budget", static_cast<std::int64_t>(inst.matrix.objects() / 4)));
+    outputs = baselines::sampled_knn(oracle, kp, rng::Rng(seed)).outputs;
+  } else if (algo == "svd") {
+    baselines::SvdParams sp;
+    sp.sample_rate = args.get_double("rate", 0.25);
+    sp.rank = static_cast<std::size_t>(args.get_int("rank", 4));
+    outputs = baselines::svd_recommender(oracle, sp, rng::Rng(seed)).outputs;
+  } else {
+    throw std::runtime_error("unknown --algo=" + algo);
+  }
+
+  std::ofstream os(require(args, "out"));
+  if (!os) throw std::runtime_error("cannot open output file");
+  io::save_outputs(outputs, os);
+
+  std::cout << "algo: " << algo << "\nrounds (max probes/player): "
+            << oracle.max_invocations() << "\ntotal probes: " << oracle.total_invocations()
+            << "\nsolo cost would be: " << inst.matrix.objects() << " rounds\n";
+  return 0;
+}
+
+int cmd_eval(const io::Args& args) {
+  const auto inst = io::load_instance_file(require(args, "in"));
+  std::ifstream is(require(args, "outputs"));
+  if (!is) throw std::runtime_error("cannot open outputs file");
+  const auto outputs = io::load_outputs(is);
+  if (outputs.size() != inst.matrix.players()) {
+    throw std::runtime_error("outputs/player count mismatch");
+  }
+
+  io::Table table("evaluation", {{"community"}, {"players"}, {"diameter D"}, {"worst_err"},
+                                 {"stretch", 2}, {"mean_err", 1}});
+  for (std::size_t c = 0; c < inst.communities.size(); ++c) {
+    const auto& ids = inst.communities[c];
+    if (ids.empty()) continue;
+    std::size_t total = 0;
+    for (auto p : ids) total += outputs[p].hamming(inst.matrix.row(p));
+    table.add_row({static_cast<long long>(c), static_cast<long long>(ids.size()),
+                   static_cast<long long>(inst.matrix.subset_diameter(ids)),
+                   static_cast<long long>(inst.matrix.discrepancy(outputs, ids)),
+                   inst.matrix.stretch(outputs, ids),
+                   static_cast<double>(total) / static_cast<double>(ids.size())});
+  }
+  table.print(std::cout);
+
+  std::size_t total = 0;
+  for (matrix::PlayerId p = 0; p < inst.matrix.players(); ++p) {
+    total += outputs[p].hamming(inst.matrix.row(p));
+  }
+  std::cout << "overall mean error: "
+            << static_cast<double>(total) / static_cast<double>(inst.matrix.players())
+            << " / " << inst.matrix.objects() << " objects\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const io::Args args(argc - 1, argv + 1);
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "eval") return cmd_eval(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "tmwia_cli " << cmd << ": " << e.what() << '\n';
+    return 1;
+  }
+}
