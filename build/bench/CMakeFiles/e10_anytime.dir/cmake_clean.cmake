@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_anytime.dir/e10_anytime.cpp.o"
+  "CMakeFiles/e10_anytime.dir/e10_anytime.cpp.o.d"
+  "e10_anytime"
+  "e10_anytime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_anytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

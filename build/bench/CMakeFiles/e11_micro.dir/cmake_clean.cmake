@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e11_micro.dir/e11_micro.cpp.o"
+  "CMakeFiles/e11_micro.dir/e11_micro.cpp.o.d"
+  "e11_micro"
+  "e11_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

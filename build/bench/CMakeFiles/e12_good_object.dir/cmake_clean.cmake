@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e12_good_object.dir/e12_good_object.cpp.o"
+  "CMakeFiles/e12_good_object.dir/e12_good_object.cpp.o.d"
+  "e12_good_object"
+  "e12_good_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_good_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e13_noise.dir/e13_noise.cpp.o"
+  "CMakeFiles/e13_noise.dir/e13_noise.cpp.o.d"
+  "e13_noise"
+  "e13_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

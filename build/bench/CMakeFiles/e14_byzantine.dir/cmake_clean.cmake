@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e14_byzantine.dir/e14_byzantine.cpp.o"
+  "CMakeFiles/e14_byzantine.dir/e14_byzantine.cpp.o.d"
+  "e14_byzantine"
+  "e14_byzantine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e14_byzantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

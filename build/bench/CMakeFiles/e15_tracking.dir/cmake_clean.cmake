@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e15_tracking.dir/e15_tracking.cpp.o"
+  "CMakeFiles/e15_tracking.dir/e15_tracking.cpp.o.d"
+  "e15_tracking"
+  "e15_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e15_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

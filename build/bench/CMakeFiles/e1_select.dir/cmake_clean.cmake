@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_select.dir/e1_select.cpp.o"
+  "CMakeFiles/e1_select.dir/e1_select.cpp.o.d"
+  "e1_select"
+  "e1_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_zero_radius.dir/e2_zero_radius.cpp.o"
+  "CMakeFiles/e2_zero_radius.dir/e2_zero_radius.cpp.o.d"
+  "e2_zero_radius"
+  "e2_zero_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_zero_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_partition_lemma.dir/e3_partition_lemma.cpp.o"
+  "CMakeFiles/e3_partition_lemma.dir/e3_partition_lemma.cpp.o.d"
+  "e3_partition_lemma"
+  "e3_partition_lemma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_partition_lemma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_small_radius.dir/e4_small_radius.cpp.o"
+  "CMakeFiles/e4_small_radius.dir/e4_small_radius.cpp.o.d"
+  "e4_small_radius"
+  "e4_small_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_small_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_coalesce.dir/e5_coalesce.cpp.o"
+  "CMakeFiles/e5_coalesce.dir/e5_coalesce.cpp.o.d"
+  "e5_coalesce"
+  "e5_coalesce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_coalesce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_large_radius.dir/e6_large_radius.cpp.o"
+  "CMakeFiles/e6_large_radius.dir/e6_large_radius.cpp.o.d"
+  "e6_large_radius"
+  "e6_large_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_large_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

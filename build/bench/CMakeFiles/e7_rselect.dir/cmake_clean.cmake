@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_rselect.dir/e7_rselect.cpp.o"
+  "CMakeFiles/e7_rselect.dir/e7_rselect.cpp.o.d"
+  "e7_rselect"
+  "e7_rselect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_rselect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

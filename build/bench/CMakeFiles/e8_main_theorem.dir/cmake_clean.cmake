@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_main_theorem.dir/e8_main_theorem.cpp.o"
+  "CMakeFiles/e8_main_theorem.dir/e8_main_theorem.cpp.o.d"
+  "e8_main_theorem"
+  "e8_main_theorem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_main_theorem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_placement.dir/ad_placement.cpp.o"
+  "CMakeFiles/ad_placement.dir/ad_placement.cpp.o.d"
+  "ad_placement"
+  "ad_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

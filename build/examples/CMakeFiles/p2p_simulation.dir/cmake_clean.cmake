@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_simulation.dir/p2p_simulation.cpp.o"
+  "CMakeFiles/p2p_simulation.dir/p2p_simulation.cpp.o.d"
+  "p2p_simulation"
+  "p2p_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmwia_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/tmwia_baselines.dir/baselines.cpp.o.d"
+  "libtmwia_baselines.a"
+  "libtmwia_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmwia_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

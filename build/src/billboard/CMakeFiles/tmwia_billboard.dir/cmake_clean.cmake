@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmwia_billboard.dir/billboard.cpp.o"
+  "CMakeFiles/tmwia_billboard.dir/billboard.cpp.o.d"
+  "CMakeFiles/tmwia_billboard.dir/probe_oracle.cpp.o"
+  "CMakeFiles/tmwia_billboard.dir/probe_oracle.cpp.o.d"
+  "CMakeFiles/tmwia_billboard.dir/round_scheduler.cpp.o"
+  "CMakeFiles/tmwia_billboard.dir/round_scheduler.cpp.o.d"
+  "CMakeFiles/tmwia_billboard.dir/strategies.cpp.o"
+  "CMakeFiles/tmwia_billboard.dir/strategies.cpp.o.d"
+  "libtmwia_billboard.a"
+  "libtmwia_billboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmwia_billboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bits/bitvector.cpp" "src/bits/CMakeFiles/tmwia_bits.dir/bitvector.cpp.o" "gcc" "src/bits/CMakeFiles/tmwia_bits.dir/bitvector.cpp.o.d"
+  "/root/repo/src/bits/hamming.cpp" "src/bits/CMakeFiles/tmwia_bits.dir/hamming.cpp.o" "gcc" "src/bits/CMakeFiles/tmwia_bits.dir/hamming.cpp.o.d"
+  "/root/repo/src/bits/trivector.cpp" "src/bits/CMakeFiles/tmwia_bits.dir/trivector.cpp.o" "gcc" "src/bits/CMakeFiles/tmwia_bits.dir/trivector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmwia_bits.dir/bitvector.cpp.o"
+  "CMakeFiles/tmwia_bits.dir/bitvector.cpp.o.d"
+  "CMakeFiles/tmwia_bits.dir/hamming.cpp.o"
+  "CMakeFiles/tmwia_bits.dir/hamming.cpp.o.d"
+  "CMakeFiles/tmwia_bits.dir/trivector.cpp.o"
+  "CMakeFiles/tmwia_bits.dir/trivector.cpp.o.d"
+  "libtmwia_bits.a"
+  "libtmwia_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmwia_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bit_space.cpp" "src/core/CMakeFiles/tmwia_core.dir/bit_space.cpp.o" "gcc" "src/core/CMakeFiles/tmwia_core.dir/bit_space.cpp.o.d"
+  "/root/repo/src/core/budget.cpp" "src/core/CMakeFiles/tmwia_core.dir/budget.cpp.o" "gcc" "src/core/CMakeFiles/tmwia_core.dir/budget.cpp.o.d"
+  "/root/repo/src/core/coalesce.cpp" "src/core/CMakeFiles/tmwia_core.dir/coalesce.cpp.o" "gcc" "src/core/CMakeFiles/tmwia_core.dir/coalesce.cpp.o.d"
+  "/root/repo/src/core/find_preferences.cpp" "src/core/CMakeFiles/tmwia_core.dir/find_preferences.cpp.o" "gcc" "src/core/CMakeFiles/tmwia_core.dir/find_preferences.cpp.o.d"
+  "/root/repo/src/core/good_object.cpp" "src/core/CMakeFiles/tmwia_core.dir/good_object.cpp.o" "gcc" "src/core/CMakeFiles/tmwia_core.dir/good_object.cpp.o.d"
+  "/root/repo/src/core/large_radius.cpp" "src/core/CMakeFiles/tmwia_core.dir/large_radius.cpp.o" "gcc" "src/core/CMakeFiles/tmwia_core.dir/large_radius.cpp.o.d"
+  "/root/repo/src/core/normalize.cpp" "src/core/CMakeFiles/tmwia_core.dir/normalize.cpp.o" "gcc" "src/core/CMakeFiles/tmwia_core.dir/normalize.cpp.o.d"
+  "/root/repo/src/core/rselect.cpp" "src/core/CMakeFiles/tmwia_core.dir/rselect.cpp.o" "gcc" "src/core/CMakeFiles/tmwia_core.dir/rselect.cpp.o.d"
+  "/root/repo/src/core/select.cpp" "src/core/CMakeFiles/tmwia_core.dir/select.cpp.o" "gcc" "src/core/CMakeFiles/tmwia_core.dir/select.cpp.o.d"
+  "/root/repo/src/core/small_radius.cpp" "src/core/CMakeFiles/tmwia_core.dir/small_radius.cpp.o" "gcc" "src/core/CMakeFiles/tmwia_core.dir/small_radius.cpp.o.d"
+  "/root/repo/src/core/zero_radius_strategy.cpp" "src/core/CMakeFiles/tmwia_core.dir/zero_radius_strategy.cpp.o" "gcc" "src/core/CMakeFiles/tmwia_core.dir/zero_radius_strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bits/CMakeFiles/tmwia_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/tmwia_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/tmwia_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/billboard/CMakeFiles/tmwia_billboard.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/tmwia_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

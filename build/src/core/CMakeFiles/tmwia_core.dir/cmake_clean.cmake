@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmwia_core.dir/bit_space.cpp.o"
+  "CMakeFiles/tmwia_core.dir/bit_space.cpp.o.d"
+  "CMakeFiles/tmwia_core.dir/budget.cpp.o"
+  "CMakeFiles/tmwia_core.dir/budget.cpp.o.d"
+  "CMakeFiles/tmwia_core.dir/coalesce.cpp.o"
+  "CMakeFiles/tmwia_core.dir/coalesce.cpp.o.d"
+  "CMakeFiles/tmwia_core.dir/find_preferences.cpp.o"
+  "CMakeFiles/tmwia_core.dir/find_preferences.cpp.o.d"
+  "CMakeFiles/tmwia_core.dir/good_object.cpp.o"
+  "CMakeFiles/tmwia_core.dir/good_object.cpp.o.d"
+  "CMakeFiles/tmwia_core.dir/large_radius.cpp.o"
+  "CMakeFiles/tmwia_core.dir/large_radius.cpp.o.d"
+  "CMakeFiles/tmwia_core.dir/normalize.cpp.o"
+  "CMakeFiles/tmwia_core.dir/normalize.cpp.o.d"
+  "CMakeFiles/tmwia_core.dir/rselect.cpp.o"
+  "CMakeFiles/tmwia_core.dir/rselect.cpp.o.d"
+  "CMakeFiles/tmwia_core.dir/select.cpp.o"
+  "CMakeFiles/tmwia_core.dir/select.cpp.o.d"
+  "CMakeFiles/tmwia_core.dir/small_radius.cpp.o"
+  "CMakeFiles/tmwia_core.dir/small_radius.cpp.o.d"
+  "CMakeFiles/tmwia_core.dir/zero_radius_strategy.cpp.o"
+  "CMakeFiles/tmwia_core.dir/zero_radius_strategy.cpp.o.d"
+  "libtmwia_core.a"
+  "libtmwia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmwia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

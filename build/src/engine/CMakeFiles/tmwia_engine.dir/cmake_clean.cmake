@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmwia_engine.dir/thread_pool.cpp.o"
+  "CMakeFiles/tmwia_engine.dir/thread_pool.cpp.o.d"
+  "libtmwia_engine.a"
+  "libtmwia_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmwia_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

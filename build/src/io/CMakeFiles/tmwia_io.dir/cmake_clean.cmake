@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmwia_io.dir/args.cpp.o"
+  "CMakeFiles/tmwia_io.dir/args.cpp.o.d"
+  "CMakeFiles/tmwia_io.dir/serialize.cpp.o"
+  "CMakeFiles/tmwia_io.dir/serialize.cpp.o.d"
+  "CMakeFiles/tmwia_io.dir/table.cpp.o"
+  "CMakeFiles/tmwia_io.dir/table.cpp.o.d"
+  "libtmwia_io.a"
+  "libtmwia_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmwia_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

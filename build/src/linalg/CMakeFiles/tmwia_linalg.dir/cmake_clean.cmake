@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmwia_linalg.dir/dense_matrix.cpp.o"
+  "CMakeFiles/tmwia_linalg.dir/dense_matrix.cpp.o.d"
+  "libtmwia_linalg.a"
+  "libtmwia_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmwia_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

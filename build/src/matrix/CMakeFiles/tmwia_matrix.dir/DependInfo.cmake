@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/generators.cpp" "src/matrix/CMakeFiles/tmwia_matrix.dir/generators.cpp.o" "gcc" "src/matrix/CMakeFiles/tmwia_matrix.dir/generators.cpp.o.d"
+  "/root/repo/src/matrix/preference_matrix.cpp" "src/matrix/CMakeFiles/tmwia_matrix.dir/preference_matrix.cpp.o" "gcc" "src/matrix/CMakeFiles/tmwia_matrix.dir/preference_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bits/CMakeFiles/tmwia_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/tmwia_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmwia_matrix.dir/generators.cpp.o"
+  "CMakeFiles/tmwia_matrix.dir/generators.cpp.o.d"
+  "CMakeFiles/tmwia_matrix.dir/preference_matrix.cpp.o"
+  "CMakeFiles/tmwia_matrix.dir/preference_matrix.cpp.o.d"
+  "libtmwia_matrix.a"
+  "libtmwia_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmwia_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmwia_rng.dir/partition.cpp.o"
+  "CMakeFiles/tmwia_rng.dir/partition.cpp.o.d"
+  "CMakeFiles/tmwia_rng.dir/rng.cpp.o"
+  "CMakeFiles/tmwia_rng.dir/rng.cpp.o.d"
+  "libtmwia_rng.a"
+  "libtmwia_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmwia_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmwia_stats.dir/summary.cpp.o"
+  "CMakeFiles/tmwia_stats.dir/summary.cpp.o.d"
+  "libtmwia_stats.a"
+  "libtmwia_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmwia_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_billboard.dir/billboard_test.cpp.o"
+  "CMakeFiles/test_billboard.dir/billboard_test.cpp.o.d"
+  "test_billboard"
+  "test_billboard.pdb"
+  "test_billboard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_billboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_find_preferences.dir/find_preferences_test.cpp.o"
+  "CMakeFiles/test_find_preferences.dir/find_preferences_test.cpp.o.d"
+  "test_find_preferences"
+  "test_find_preferences.pdb"
+  "test_find_preferences[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_find_preferences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_good_object.dir/good_object_test.cpp.o"
+  "CMakeFiles/test_good_object.dir/good_object_test.cpp.o.d"
+  "test_good_object"
+  "test_good_object.pdb"
+  "test_good_object[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_good_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

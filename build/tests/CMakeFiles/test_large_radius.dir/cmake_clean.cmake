@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_large_radius.dir/large_radius_test.cpp.o"
+  "CMakeFiles/test_large_radius.dir/large_radius_test.cpp.o.d"
+  "test_large_radius"
+  "test_large_radius.pdb"
+  "test_large_radius[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_large_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

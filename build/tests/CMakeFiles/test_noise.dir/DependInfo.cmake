@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/noise_test.cpp" "tests/CMakeFiles/test_noise.dir/noise_test.cpp.o" "gcc" "tests/CMakeFiles/test_noise.dir/noise_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/tmwia_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/tmwia_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tmwia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tmwia_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tmwia_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/tmwia_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/billboard/CMakeFiles/tmwia_billboard.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/tmwia_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/bits/CMakeFiles/tmwia_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/tmwia_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

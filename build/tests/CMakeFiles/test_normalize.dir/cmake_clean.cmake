@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_normalize.dir/normalize_test.cpp.o"
+  "CMakeFiles/test_normalize.dir/normalize_test.cpp.o.d"
+  "test_normalize"
+  "test_normalize.pdb"
+  "test_normalize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_normalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_round_scheduler.dir/round_scheduler_test.cpp.o"
+  "CMakeFiles/test_round_scheduler.dir/round_scheduler_test.cpp.o.d"
+  "test_round_scheduler"
+  "test_round_scheduler.pdb"
+  "test_round_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_round_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

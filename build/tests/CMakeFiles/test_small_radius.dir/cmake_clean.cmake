@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_small_radius.dir/small_radius_test.cpp.o"
+  "CMakeFiles/test_small_radius.dir/small_radius_test.cpp.o.d"
+  "test_small_radius"
+  "test_small_radius.pdb"
+  "test_small_radius[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_small_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

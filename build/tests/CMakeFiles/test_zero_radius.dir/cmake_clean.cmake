@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zero_radius.dir/zero_radius_test.cpp.o"
+  "CMakeFiles/test_zero_radius.dir/zero_radius_test.cpp.o.d"
+  "test_zero_radius"
+  "test_zero_radius.pdb"
+  "test_zero_radius[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zero_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zero_radius_strategy.dir/zero_radius_strategy_test.cpp.o"
+  "CMakeFiles/test_zero_radius_strategy.dir/zero_radius_strategy_test.cpp.o.d"
+  "test_zero_radius_strategy"
+  "test_zero_radius_strategy.pdb"
+  "test_zero_radius_strategy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zero_radius_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmwia_cli.dir/tmwia_cli.cpp.o"
+  "CMakeFiles/tmwia_cli.dir/tmwia_cli.cpp.o.d"
+  "tmwia_cli"
+  "tmwia_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmwia_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
