@@ -32,7 +32,7 @@ BaselineResult solo_probing(billboard::ProbeOracle& oracle) {
   std::vector<bits::BitVector> outputs(n, bits::BitVector(m));
   engine::parallel_for(0, n, [&](std::size_t p) {
     for (std::uint32_t o = 0; o < m; ++o) {
-      if (oracle.probe(static_cast<PlayerId>(p), o)) outputs[p].set(o, true);
+      if (oracle.probe_resilient(static_cast<PlayerId>(p), o)) outputs[p].set(o, true);
     }
   });
   return finish(oracle, before, probes_before, std::move(outputs));
@@ -57,7 +57,7 @@ BaselineResult sampled_knn(billboard::ProbeOracle& oracle, const KnnParams& para
     sampled[p] = rng::sample_without_replacement(m, R, prng);
     for (std::uint32_t o : sampled[p]) {
       sample_mask[p].set(o, true);
-      if (oracle.probe(static_cast<PlayerId>(p), o)) sample_vals[p].set(o, true);
+      if (oracle.probe_resilient(static_cast<PlayerId>(p), o)) sample_vals[p].set(o, true);
     }
   });
 
@@ -127,7 +127,7 @@ BaselineResult svd_recommender(billboard::ProbeOracle& oracle, const SvdParams& 
     rng::Rng prng = rng.split(0x57d, p);
     for (std::uint32_t o = 0; o < m; ++o) {
       if (prng.bernoulli(params.sample_rate)) {
-        const bool v = oracle.probe(static_cast<PlayerId>(p), o);
+        const bool v = oracle.probe_resilient(static_cast<PlayerId>(p), o);
         sampled(p, o) = (v ? 1.0 : -1.0) * scale;
       }
     }
@@ -160,7 +160,7 @@ BaselineResult global_majority(billboard::ProbeOracle& oracle, std::size_t probe
     rng::Rng prng = rng.split(0x93a, p);
     const auto objs = rng::sample_without_replacement(m, R, prng);
     for (std::uint32_t o : objs) {
-      const bool v = oracle.probe(static_cast<PlayerId>(p), o);
+      const bool v = oracle.probe_resilient(static_cast<PlayerId>(p), o);
       votes[o].fetch_add(v ? 1 : -1, std::memory_order_relaxed);
     }
   });

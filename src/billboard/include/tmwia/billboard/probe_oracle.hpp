@@ -21,6 +21,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "tmwia/faults/fault_injector.hpp"
 #include "tmwia/matrix/preference_matrix.hpp"
 
 namespace tmwia::billboard {
@@ -59,9 +60,27 @@ class ProbeOracle {
   [[nodiscard]] std::size_t players() const { return truth_->players(); }
   [[nodiscard]] std::size_t objects() const { return truth_->objects(); }
 
+  /// Attach a fault injector: subsequent probes may throw
+  /// faults::PlayerCrashedError (attempt not charged — a dead player
+  /// sends nothing) or faults::ProbeFailedError (attempt charged to
+  /// invocations; the probe was sent, the result lost). The injector
+  /// must outlive the oracle's use. nullptr detaches.
+  void set_fault_injector(faults::FaultInjector* injector) { injector_ = injector; }
+  [[nodiscard]] faults::FaultInjector* fault_injector() const { return injector_; }
+
   /// Player p probes object o: returns v(p)[o], charges cost, records
-  /// the result on the probe record (billboard side).
+  /// the result on the probe record (billboard side). With a fault
+  /// injector attached this is the *raw* probe: injected faults
+  /// propagate as exceptions (see set_fault_injector).
   bool probe(PlayerId p, ObjectId o);
+
+  /// Fault-tolerant probe used by the centrally-simulated phases:
+  /// retries transient failures up to the plan's retry budget (each
+  /// attempt charged), and degrades instead of throwing — a crashed or
+  /// retry-exhausted player is marked failed on the injector and served
+  /// its posted value for (p, o) (0 if never probed) from then on.
+  /// Without an injector this is exactly probe().
+  bool probe_resilient(PlayerId p, ObjectId o);
 
   /// Has (p, o) been probed already (by p)? Billboard read, free.
   [[nodiscard]] bool is_probed(PlayerId p, ObjectId o) const;
@@ -71,6 +90,12 @@ class ProbeOracle {
   /// the truth). Requires is_probed(p, o). Billboard read: any player
   /// may call this for any p (results are public).
   [[nodiscard]] bool probed_value(PlayerId p, ObjectId o) const;
+
+  /// Packed per-player probe record: which objects p has probed, and
+  /// the posted values. Billboard reads (free), used by degraded
+  /// players that can no longer probe.
+  [[nodiscard]] const bits::BitVector& probed_mask(PlayerId p) const { return probed_[p]; }
+  [[nodiscard]] const bits::BitVector& posted_values(PlayerId p) const { return values_[p]; }
 
   /// Total Probe invocations by player p (the theorem-bound quantity).
   [[nodiscard]] std::uint64_t invocations(PlayerId p) const {
@@ -98,9 +123,11 @@ class ProbeOracle {
 
  private:
   [[nodiscard]] bool noisy_read(PlayerId p, ObjectId o, std::uint64_t invocation) const;
+  [[nodiscard]] bool fallback_read(PlayerId p, ObjectId o) const;
 
   const matrix::PreferenceMatrix* truth_;
   NoiseModel noise_;
+  faults::FaultInjector* injector_ = nullptr;
   std::vector<std::atomic<std::uint64_t>> invocations_;
   std::vector<std::atomic<std::uint64_t>> charged_;
   // Per-player record of which objects were probed and the posted

@@ -95,11 +95,33 @@ struct ScheduleResult {
   std::size_t rounds = 0;         ///< rounds executed
   std::size_t idle_probes = 0;    ///< rounds players chose to idle
   bool all_done = false;          ///< every strategy reported done()
+
+  // Fault accounting (all zero without an attached FaultInjector).
+  std::size_t crash_skips = 0;     ///< player-rounds lost to crash-stop
+  std::size_t probe_failures = 0;  ///< transient probe failures seen (incl. retries)
+  std::size_t posts_dropped = 0;   ///< vector posts lost before publication
+  std::size_t posts_delayed = 0;   ///< vector posts deferred to a later round
+  /// Strategies that threw from next_probe/on_result/posts. A throwing
+  /// strategy is isolated: it is marked failed and skipped from then
+  /// on; every other player is unaffected.
+  std::vector<PlayerId> failed_strategies;
 };
 
 /// Drive one strategy per player in lockstep. Strategies may be null
 /// (that player never probes). Stops when every non-null strategy is
 /// done or after max_rounds.
+///
+/// Fault semantics (when the oracle has a FaultInjector attached): the
+/// scheduler engages the injector's round clock, so crash windows are
+/// global lockstep rounds and recovery works. A down player's rounds
+/// are skipped (counted in crash_skips); a down player with a scheduled
+/// recovery keeps the run alive, one without does not. Transient probe
+/// failures are retried within the round up to the plan's retry budget
+/// (every attempt charged to invocations); on exhaustion the strategy
+/// simply gets no result that round. Pending vector posts may be
+/// dropped or delayed; delayed posts become visible at the start of the
+/// round they come due (any still queued when the run ends are flushed
+/// to the board on exit).
 class RoundScheduler {
  public:
   explicit RoundScheduler(ProbeOracle& oracle);

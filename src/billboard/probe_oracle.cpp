@@ -42,6 +42,19 @@ bool ProbeOracle::probe(PlayerId p, ObjectId o) {
   if (p >= players() || o >= objects()) {
     throw std::out_of_range("ProbeOracle::probe: player/object out of range");
   }
+  if (injector_ != nullptr) {
+    switch (injector_->on_probe_attempt(p)) {
+      case faults::FaultInjector::Attempt::kCrashed:
+        throw faults::PlayerCrashedError(p);
+      case faults::FaultInjector::Attempt::kFail:
+        // The probe was sent and the round spent; only the result is
+        // lost, so the retry shows up in the invocation accounting.
+        invocations_[p].fetch_add(1, std::memory_order_relaxed);
+        throw faults::ProbeFailedError(p, o);
+      case faults::FaultInjector::Attempt::kOk:
+        break;
+    }
+  }
   const auto inv = invocations_[p].fetch_add(1, std::memory_order_relaxed);
   if (!probed_[p].get(o)) {
     charged_[p].fetch_add(1, std::memory_order_relaxed);
@@ -50,6 +63,32 @@ bool ProbeOracle::probe(PlayerId p, ObjectId o) {
   const bool value = noisy_read(p, o, inv);
   values_[p].set(o, value);
   return value;
+}
+
+bool ProbeOracle::fallback_read(PlayerId p, ObjectId o) const {
+  return probed_[p].get(o) ? values_[p].get(o) : false;
+}
+
+bool ProbeOracle::probe_resilient(PlayerId p, ObjectId o) {
+  if (injector_ == nullptr) return probe(p, o);
+  if (injector_->is_failed(p)) {
+    injector_->note_fallback_read(p);
+    return fallback_read(p, o);
+  }
+  const std::size_t budget = injector_->plan().retry_budget;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return probe(p, o);
+    } catch (const faults::ProbeFailedError&) {
+      if (attempt >= budget) break;  // budget exhausted: degrade
+      injector_->note_retry(p);
+    } catch (const faults::PlayerCrashedError&) {
+      break;  // crash-stop: no point retrying
+    }
+  }
+  if (!injector_->is_down(p)) injector_->mark_degraded(p);
+  injector_->note_fallback_read(p);
+  return fallback_read(p, o);
 }
 
 bool ProbeOracle::is_probed(PlayerId p, ObjectId o) const { return probed_[p].get(o); }

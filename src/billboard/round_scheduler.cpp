@@ -14,15 +14,38 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
     throw std::invalid_argument("RoundScheduler::run: one strategy slot per player");
   }
 
+  auto* injector = oracle_->fault_injector();
+
   ScheduleResult res;
   struct Pending {
     PlayerId p;
     ObjectId o;
   };
+  struct DelayedPost {
+    std::size_t due_round;
+    PlayerId p;
+    PendingPost post;
+  };
   std::vector<Pending> this_round;
   std::vector<std::pair<PlayerId, PendingPost>> vector_posts;
+  std::vector<DelayedPost> delayed;
+  std::vector<std::uint8_t> threw(strategies.size(), 0);
 
   for (std::size_t round = 0; round < max_rounds; ++round) {
+    if (injector != nullptr) {
+      injector->begin_round(round);
+      // Delayed posts come due: publish before the view is built, so
+      // they are visible exactly `delay` rounds late.
+      for (auto it = delayed.begin(); it != delayed.end();) {
+        if (it->due_round <= round) {
+          board_.post(it->post.channel, it->p, it->post.vec);
+          it = delayed.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
     const RoundView view(*oracle_, board_, posted_, round);
 
     bool any_active = false;
@@ -30,28 +53,71 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
     vector_posts.clear();
     for (PlayerId p = 0; p < strategies.size(); ++p) {
       auto& s = strategies[p];
-      if (!s || s->done()) continue;
-      any_active = true;
-      const auto choice = s->next_probe(view);
-      if (choice.has_value()) {
-        // Probe immediately (the value is private to the player this
-        // round); defer the public posting to the end of the round so
-        // peers cannot read it early.
-        const bool value = oracle_->probe(p, *choice);
-        s->on_result(*choice, value);
-        this_round.push_back({p, *choice});
-      } else {
-        ++res.idle_probes;
+      if (!s || threw[p] != 0 || s->done()) continue;
+      if (injector != nullptr && injector->is_down(p)) {
+        ++res.crash_skips;
+        // Only a player that will come back keeps the run alive.
+        if (injector->may_recover(p)) any_active = true;
+        continue;
       }
-      for (auto& post : s->posts()) {
-        vector_posts.emplace_back(p, std::move(post));
+      any_active = true;
+      try {
+        const auto choice = s->next_probe(view);
+        if (choice.has_value()) {
+          // Probe immediately (the value is private to the player this
+          // round); defer the public posting to the end of the round so
+          // peers cannot read it early. With faults, retry transient
+          // failures within the round up to the plan's budget — every
+          // attempt is charged, so retry cost lands in the accounting.
+          bool have_value = false;
+          bool value = false;
+          const std::size_t budget = injector != nullptr ? injector->plan().retry_budget : 0;
+          for (std::size_t attempt = 0;; ++attempt) {
+            try {
+              value = oracle_->probe(p, *choice);
+              have_value = true;
+              break;
+            } catch (const faults::ProbeFailedError&) {
+              ++res.probe_failures;
+              if (attempt >= budget) break;
+              injector->note_retry(p);
+            } catch (const faults::PlayerCrashedError&) {
+              break;  // crashed mid-round: result lost, player down
+            }
+          }
+          if (have_value) {
+            s->on_result(*choice, value);
+            this_round.push_back({p, *choice});
+          }
+        } else {
+          ++res.idle_probes;
+        }
+        for (auto& post : s->posts()) {
+          if (injector != nullptr) {
+            if (injector->post_lost(p, faults::FaultInjector::channel_tag(post.channel))) {
+              injector->note_post_dropped();
+              ++res.posts_dropped;
+              continue;
+            }
+            if (const auto delay = injector->delay_for_post(p); delay > 0) {
+              ++res.posts_delayed;
+              delayed.push_back({round + static_cast<std::size_t>(delay), p, std::move(post)});
+              continue;
+            }
+          }
+          vector_posts.emplace_back(p, std::move(post));
+        }
+      } catch (...) {
+        // A buggy strategy must not take the round down with it: mark
+        // it failed and keep driving everyone else.
+        threw[p] = 1;
+        res.failed_strategies.push_back(p);
       }
     }
 
     if (!any_active) {
-      res.all_done = true;
       res.rounds = round;
-      return res;
+      break;
     }
     ++res.rounds;
 
@@ -63,9 +129,13 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
     }
   }
 
+  // Never-published delayed posts should not vanish silently.
+  for (auto& d : delayed) board_.post(d.post.channel, d.p, d.post.vec);
+
   res.all_done = true;
-  for (const auto& s : strategies) {
-    if (s && !s->done()) {
+  for (PlayerId p = 0; p < strategies.size(); ++p) {
+    const auto& s = strategies[p];
+    if ((s && !s->done()) || threw[p] != 0) {
       res.all_done = false;
       break;
     }

@@ -1,6 +1,8 @@
 #include "tmwia/core/find_preferences.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "tmwia/core/bit_space.hpp"
@@ -22,6 +24,57 @@ std::vector<std::uint32_t> all_objects(const billboard::ProbeOracle& oracle) {
   std::vector<std::uint32_t> o(oracle.objects());
   std::iota(o.begin(), o.end(), 0u);
   return o;
+}
+
+/// Orphan adoption, top level: players whose committee/candidate set
+/// was wiped out by faults (quorum lost at every vote they joined)
+/// re-select among the most-supported *surviving* outputs with RSelect
+/// — the Section 6.1 primitive, which needs no distance bound. No-op
+/// without an attached fault injector.
+void rescue_orphans(billboard::ProbeOracle& oracle, std::vector<bits::BitVector>& outputs,
+                    const std::vector<PlayerId>& players, const Params& params,
+                    const rng::Rng& rng) {
+  auto* injector = oracle.fault_injector();
+  if (injector == nullptr) return;
+
+  std::vector<std::size_t> orphans;
+  std::vector<bits::BitVector> surviving;
+  for (std::size_t i = 0; i < players.size(); ++i) {
+    const PlayerId p = players[i];
+    if (injector->is_failed(p)) continue;
+    if (injector->is_orphaned(p)) {
+      orphans.push_back(i);
+    } else {
+      surviving.push_back(outputs[i]);
+    }
+  }
+  if (orphans.empty() || surviving.empty()) return;
+
+  // Candidate pool: the most-supported surviving outputs (ties broken
+  // lexicographically), capped like node-level orphan adoption.
+  auto voted = billboard::tally(surviving, 1);
+  std::sort(voted.begin(), voted.end(), [](const auto& a, const auto& b) {
+    if (a.votes != b.votes) return a.votes > b.votes;
+    return a.vec.lex_compare(b.vec) < 0;
+  });
+  if (voted.size() > params.ft_orphan_candidates) voted.resize(params.ft_orphan_candidates);
+  std::vector<bits::BitVector> candidates;
+  candidates.reserve(voted.size() + 1);
+  for (auto& vv : voted) candidates.push_back(std::move(vv.vec));
+
+  engine::parallel_for(0, orphans.size(), [&](std::size_t k) {
+    const std::size_t i = orphans[k];
+    const PlayerId p = players[i];
+    // The player's own (possibly partial) output competes too, so the
+    // rescue can only help.
+    std::vector<bits::BitVector> cands = candidates;
+    cands.push_back(outputs[i]);
+    rng::Rng prng = rng.split(0x0FA9, p);
+    const auto sel = rselect_closest(
+        cands, players.size(),
+        [&](std::uint32_t j) { return oracle.probe_resilient(p, j); }, prng, params);
+    outputs[i] = std::move(cands[sel.index]);
+  });
 }
 
 }  // namespace
@@ -55,6 +108,8 @@ FindPreferencesResult find_preferences(billboard::ProbeOracle& oracle,
             .outputs;
   }
 
+  rescue_orphans(oracle, res.outputs, players, params, rng.split(0x0E5C));
+
   res.rounds = oracle.rounds_since(before);
   res.total_probes = oracle.total_invocations() - probes_before;
   return res;
@@ -87,15 +142,35 @@ UnknownDResult find_preferences_unknown_d(billboard::ProbeOracle& oracle,
 
   res.outputs.assign(players.size(), bits::BitVector(m));
   res.chosen_d.assign(players.size(), 0);
+  auto* injector = oracle.fault_injector();
   engine::parallel_for(0, players.size(), [&](std::size_t i) {
     const PlayerId p = players[i];
     std::vector<bits::BitVector> candidates;
     candidates.reserve(versions.size());
     for (const auto& v : versions) candidates.push_back(v[i]);
+    if (injector != nullptr && injector->is_failed(p)) {
+      // Degraded players cannot probe a tournament; pick the candidate
+      // that agrees best with what they managed to post on the
+      // billboard before failing (free billboard reads).
+      const auto& mask = oracle.probed_mask(p);
+      const auto& vals = oracle.posted_values(p);
+      std::size_t best = 0;
+      std::size_t best_dist = std::numeric_limits<std::size_t>::max();
+      for (std::size_t gi = 0; gi < candidates.size(); ++gi) {
+        const auto dist = ((candidates[gi] ^ vals) & mask).count_ones();
+        if (dist < best_dist) {
+          best = gi;
+          best_dist = dist;
+        }
+      }
+      res.outputs[i] = std::move(candidates[best]);
+      res.chosen_d[i] = res.guesses[best];
+      return;
+    }
     rng::Rng prng = rng.split(0x9e1ec7, p);
     const auto sel = rselect_closest(
         candidates, players.size(),
-        [&](std::uint32_t j) { return oracle.probe(p, objects[j]); }, prng, params);
+        [&](std::uint32_t j) { return oracle.probe_resilient(p, objects[j]); }, prng, params);
     res.outputs[i] = std::move(candidates[sel.index]);
     res.chosen_d[i] = res.guesses[sel.index];
   });
@@ -127,14 +202,16 @@ AnytimeResult anytime(billboard::ProbeOracle& oracle, billboard::Billboard* boar
       have_previous = true;
     } else {
       // Keep the better of old/new per player (RSelect with 2
-      // candidates).
+      // candidates). Degraded players keep their previous output.
+      auto* injector = oracle.fault_injector();
       engine::parallel_for(0, players.size(), [&](std::size_t i) {
         const PlayerId p = players[i];
+        if (injector != nullptr && injector->is_failed(p)) return;
         std::vector<bits::BitVector> candidates{res.outputs[i], run.outputs[i]};
         rng::Rng prng = rng.split(0xbe57, phase, p);
         const auto sel = rselect_closest(
             candidates, players.size(),
-            [&](std::uint32_t j) { return oracle.probe(p, objects[j]); }, prng, params);
+            [&](std::uint32_t j) { return oracle.probe_resilient(p, objects[j]); }, prng, params);
         if (sel.index == 1) res.outputs[i] = std::move(run.outputs[i]);
       });
     }

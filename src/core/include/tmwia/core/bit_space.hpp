@@ -30,18 +30,39 @@ class BitSpace {
       : oracle_(&oracle), board_(board), prefix_(std::move(channel_prefix)) {}
 
   Value probe(PlayerId p, std::uint32_t object) {
-    return oracle_->probe(p, object) ? Value{1} : Value{0};
+    return oracle_->probe_resilient(p, object) ? Value{1} : Value{0};
   }
 
   /// Mirror a player's published value vector to the billboard (posted
-  /// as a packed BitVector on the given channel).
+  /// as a packed BitVector on the given channel). Under an attached
+  /// fault injector individual publications may be lost; the vote paths
+  /// consult post_lost with the same channel so they agree.
   void publish(std::string_view channel, PlayerId p, std::span<const Value> values) {
+    if (auto* inj = oracle_->fault_injector();
+        inj != nullptr && inj->post_lost(p, post_tag(channel))) {
+      inj->note_post_dropped();
+      return;
+    }
     if (board_ == nullptr) return;
     bits::BitVector v(values.size());
     for (std::size_t i = 0; i < values.size(); ++i) {
       if (values[i] != 0) v.set(i, true);
     }
     board_->post(prefix_ + "/" + std::string(channel), p, v);
+  }
+
+  // Degradation hooks of the Zero Radius Space concept (all no-ops
+  // without an attached fault injector).
+  [[nodiscard]] bool is_failed(PlayerId p) const {
+    auto* inj = oracle_->fault_injector();
+    return inj != nullptr && inj->is_failed(p);
+  }
+  [[nodiscard]] bool post_lost(PlayerId p, std::string_view channel) const {
+    auto* inj = oracle_->fault_injector();
+    return inj != nullptr && inj->post_lost(p, post_tag(channel));
+  }
+  void note_orphan(PlayerId p) {
+    if (auto* inj = oracle_->fault_injector(); inj != nullptr) inj->note_orphan(p);
   }
 
   [[nodiscard]] billboard::ProbeOracle& oracle() { return *oracle_; }
@@ -73,6 +94,12 @@ class BitSpace {
   }
 
  private:
+  /// One post identity per (prefix, channel, player): the same tag is
+  /// derived by the publishing path and the vote paths.
+  [[nodiscard]] std::uint64_t post_tag(std::string_view channel) const {
+    return faults::FaultInjector::channel_tag(prefix_ + "/" + std::string(channel));
+  }
+
   billboard::ProbeOracle* oracle_;
   billboard::Billboard* board_;
   std::string prefix_;

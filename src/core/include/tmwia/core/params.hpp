@@ -72,6 +72,13 @@ struct Params {
   /// Loser threshold fraction (paper: 2/3).
   double rs_majority = 2.0 / 3.0;
 
+  // --- Robustness (fault-injected runs) ---
+  /// When a vote loses quorum (mass crash / post loss), orphaned
+  /// adopters fall back to the surviving posts themselves; this caps
+  /// how many distinct surviving vectors they are willing to Select
+  /// among (most-supported first).
+  std::size_t ft_orphan_candidates = 8;
+
   // --- Unknown D (Section 6) ---
   /// Distance guesses D = 0, 1, 2, 4, ... up to m.
   /// Final pick uses RSelect.

@@ -23,6 +23,7 @@
 //                                   — mirror posts to a billboard
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <tuple>
@@ -76,6 +77,50 @@ inline ZeroRadiusSplit zero_radius_node_split(std::size_t n_players, std::size_t
 }
 
 namespace detail {
+
+// Optional degradation hooks of the Space concept (see faults/). A
+// space that tracks fault state exposes:
+//   bool is_failed(PlayerId)                 — player crashed/degraded;
+//                                              skip its probes, exclude
+//                                              it from votes
+//   bool post_lost(PlayerId, string_view)    — this player's post on
+//                                              this channel was lost
+//   void note_orphan(PlayerId)               — player lost its quorum
+// Spaces without the hooks (tests, plain adapters) behave exactly as
+// before — the helpers compile to constants.
+
+template <typename Space>
+bool space_is_failed(Space& space, PlayerId p) {
+  if constexpr (requires { { space.is_failed(p) } -> std::convertible_to<bool>; }) {
+    return space.is_failed(p);
+  } else {
+    (void)space;
+    (void)p;
+    return false;
+  }
+}
+
+template <typename Space>
+bool space_post_lost(Space& space, PlayerId p, std::string_view channel) {
+  if constexpr (requires { { space.post_lost(p, channel) } -> std::convertible_to<bool>; }) {
+    return space.post_lost(p, channel);
+  } else {
+    (void)space;
+    (void)p;
+    (void)channel;
+    return false;
+  }
+}
+
+template <typename Space>
+void space_note_orphan(Space& space, PlayerId p) {
+  if constexpr (requires { space.note_orphan(p); }) {
+    space.note_orphan(p);
+  } else {
+    (void)space;
+    (void)p;
+  }
+}
 
 /// Select with distance bound 0 over generic value-vectors: probe
 /// distinguishing positions in order, drop candidates on their first
@@ -143,6 +188,30 @@ std::vector<std::vector<Value>> popular_vectors(
   return out;
 }
 
+/// The orphan-adoption candidate list: the `limit` most-supported
+/// distinct vectors of `posts` (ties broken lexicographically). Used
+/// when a vote loses quorum and the adopters fall back to whatever the
+/// survivors published.
+template <typename Value>
+std::vector<std::vector<Value>> top_vectors(const std::vector<std::vector<Value>>& posts,
+                                            std::size_t limit) {
+  std::map<std::vector<Value>, std::size_t> counts;
+  for (const auto& v : posts) ++counts[v];
+  std::vector<std::pair<std::size_t, const std::vector<Value>*>> ranked;
+  ranked.reserve(counts.size());
+  for (const auto& [vec, c] : counts) ranked.emplace_back(c, &vec);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return *a.second < *b.second;
+            });
+  if (ranked.size() > limit) ranked.resize(limit);
+  std::vector<std::vector<Value>> out;
+  out.reserve(ranked.size());
+  for (const auto& [c, vec] : ranked) out.push_back(*vec);
+  return out;
+}
+
 template <typename Space>
 struct ZeroRadiusRun {
   Space& space;
@@ -160,8 +229,11 @@ struct ZeroRadiusRun {
     if (players.empty() || objects.empty()) return out;
 
     if (std::min(players.size(), objects.size()) < threshold) {
-      // Step 1: leaf — every player probes every object.
+      // Step 1: leaf — every player probes every object. Crashed /
+      // degraded players sit the leaf out (their rows stay default and
+      // they are excluded from votes higher up).
       engine::parallel_for(0, players.size(), [&](std::size_t i) {
+        if (space_is_failed(space, players[i])) return;
         for (std::size_t j = 0; j < objects.size(); ++j) {
           out[i][j] = space.probe(players[i], objects[j]);
         }
@@ -186,9 +258,11 @@ struct ZeroRadiusRun {
     Outputs r1 = run(p1, o1, rng, node_tag * 2 + 1);
     Outputs r2 = run(p2, o2, rng, node_tag * 2 + 2);
 
-    // Step 4: cross-adoption via voting + Select with bound 0.
-    adopt(p1, o2, r2, p2, out, p1_idx, o2_idx);
-    adopt(p2, o1, r1, p1, out, p2_idx, o1_idx);
+    // Step 4: cross-adoption via voting + Select with bound 0. The
+    // posting half published its outputs under its child tag, which is
+    // what the post-loss filter keys on.
+    adopt(p1, o2, r2, p2, out, p1_idx, o2_idx, node_tag * 2 + 2);
+    adopt(p2, o1, r1, p1, out, p2_idx, o1_idx, node_tag * 2 + 1);
 
     // Own-half results copy straight through.
     scatter_outputs(r1, p1_idx, o1_idx, out);
@@ -216,36 +290,69 @@ struct ZeroRadiusRun {
 
   /// Players `adopters` (positions `adopter_pos` in the parent lists)
   /// adopt the other half's outputs `posts` for objects `object_ids`
-  /// (positions `obj_pos` in the parent object list).
+  /// (positions `obj_pos` in the parent object list). `poster_tag` is
+  /// the recursion tag the posting half published under (the post-loss
+  /// filter keys on it).
   void adopt(const std::vector<PlayerId>& adopters, const std::vector<std::uint32_t>& object_ids,
              const Outputs& posts, const std::vector<PlayerId>& posters, Outputs& out,
              const std::vector<std::uint32_t>& adopter_pos,
-             const std::vector<std::uint32_t>& obj_pos) {
-    const std::size_t poster_count = posters.size();
-    const auto min_votes = std::max<std::size_t>(
-        1, static_cast<std::size_t>(
-               std::ceil(params.zr_vote_frac * alpha * static_cast<double>(poster_count))));
-
+             const std::vector<std::uint32_t>& obj_pos, std::uint64_t poster_tag) {
     // Byzantine hook: the space may rewrite what individual posters
     // *publish* for voting (dishonest eBay users, per the paper's
     // intro) — their own outputs are untouched, only their influence
     // on the vote is. Probing-based Select then defends the adopters:
     // a forged popular vector is eliminated the first time it disagrees
     // with the adopter's own truth on a distinguishing coordinate.
-    std::vector<std::vector<Value>> candidates;
+    Outputs votable = posts;
     if constexpr (requires(Space& s, const std::vector<PlayerId>& ps,
                            std::span<const std::uint32_t> objs, Outputs& posted) {
                     s.corrupt_posts(ps, objs, posted);
                   }) {
-      Outputs forged = posts;
-      space.corrupt_posts(posters, std::span(object_ids), forged);
-      candidates = popular_vectors(forged, min_votes);
-    } else {
-      candidates = popular_vectors(posts, min_votes);
+      space.corrupt_posts(posters, std::span(object_ids), votable);
     }
-    if (candidates.empty()) return;  // nothing popular: leave defaults
+
+    // Degradation: crashed/degraded posters and lost posts never made
+    // it to the billboard — the vote and its quorum threshold are taken
+    // over the survivors only. With no faults this keeps every post and
+    // the paper's threshold exactly.
+    const std::string poster_channel = "zr/" + std::to_string(poster_tag);
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < posters.size(); ++i) {
+      if (space_is_failed(space, posters[i]) ||
+          space_post_lost(space, posters[i], poster_channel)) {
+        continue;
+      }
+      if (kept != i) votable[kept] = std::move(votable[i]);
+      ++kept;
+    }
+    votable.resize(kept);
+
+    const auto min_votes = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(params.zr_vote_frac * alpha * static_cast<double>(kept))));
+    std::vector<std::vector<Value>> candidates = popular_vectors(votable, min_votes);
+
+    // Orphan adoption: the committee lost its quorum (mass crash or
+    // post loss). Rather than leave the adopters with garbage, fall
+    // back to the surviving posts themselves, most-supported first —
+    // probing-based Select still rejects anything that disagrees with
+    // the adopter's own truth.
+    bool orphan_fallback = false;
+    if (candidates.empty() && !votable.empty()) {
+      candidates = top_vectors(votable, params.ft_orphan_candidates);
+      orphan_fallback = true;
+    }
+    if (candidates.empty()) {
+      // No surviving post at all: adopters keep defaults for this half.
+      for (const PlayerId a : adopters) {
+        if (!space_is_failed(space, a)) space_note_orphan(space, a);
+      }
+      return;
+    }
 
     engine::parallel_for(0, adopters.size(), [&](std::size_t i) {
+      if (space_is_failed(space, adopters[i])) return;
+      if (orphan_fallback) space_note_orphan(space, adopters[i]);
       const std::size_t choice =
           candidates.size() == 1
               ? 0
@@ -274,6 +381,7 @@ struct ZeroRadiusRun {
                   }) {
       const std::string channel = "zr/" + std::to_string(node_tag);
       for (std::size_t i = 0; i < players.size(); ++i) {
+        if (space_is_failed(space, players[i])) continue;  // nothing to post
         space.publish(channel, players[i], std::span<const Value>(out[i]));
       }
     }

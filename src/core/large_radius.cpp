@@ -37,9 +37,19 @@ class VirtualSpace {
     if (cands.size() == 1) return 0;
     const auto& objs = (*group_objects_)[group];
     const auto sel = select_closest(cands, select_bound_, [&](std::uint32_t j) {
-      return oracle_->probe(p, objs[j]);
+      return oracle_->probe_resilient(p, objs[j]);
     });
     return static_cast<Value>(sel.index);
+  }
+
+  // Degradation hooks (see zero_radius.hpp): the virtual instance
+  // inherits the primitive oracle's fault state.
+  [[nodiscard]] bool is_failed(PlayerId p) const {
+    auto* inj = oracle_->fault_injector();
+    return inj != nullptr && inj->is_failed(p);
+  }
+  void note_orphan(PlayerId p) {
+    if (auto* inj = oracle_->fault_injector(); inj != nullptr) inj->note_orphan(p);
   }
 
  private:
@@ -114,20 +124,32 @@ LargeRadiusResult large_radius(billboard::ProbeOracle& oracle, billboard::Billbo
     const auto sr = small_radius(oracle, board, group_players, objs, alpha / 2.0, lambda,
                                  params, rng.split(0x5a11, l), n);
 
+    // Degradation: only survivors' outputs reach the billboard and the
+    // Coalesce vote; the ball-size quorum is taken over them.
+    auto* injector = oracle.fault_injector();
+    std::vector<bits::BitVector> surviving;
+    surviving.reserve(group_players.size());
+    for (std::size_t i = 0; i < group_players.size(); ++i) {
+      if (injector == nullptr || !injector->is_failed(group_players[i])) {
+        surviving.push_back(sr.outputs[i]);
+      }
+    }
+
     // Publish the per-group outputs (the billboard contents Coalesce
     // reads; it is deterministic, so running it once here equals every
     // player running it locally).
     if (board != nullptr) {
       const std::string channel = "lr/group/" + std::to_string(l);
       for (std::size_t i = 0; i < group_players.size(); ++i) {
+        if (injector != nullptr && injector->is_failed(group_players[i])) continue;
         board->post(channel, group_players[i], sr.outputs[i]);
       }
     }
 
     const auto min_ball = std::max<std::size_t>(
         1, static_cast<std::size_t>(std::ceil(params.zr_vote_frac * alpha *
-                                              static_cast<double>(group_players.size()))));
-    auto co = coalesce(sr.outputs, coalesce_D, min_ball, params.co_merge_mult);
+                                              static_cast<double>(surviving.size()))));
+    auto co = coalesce(surviving, coalesce_D, min_ball, params.co_merge_mult);
     res.max_candidates = std::max(res.max_candidates, co.candidates.size());
     group_candidates[l] = std::move(co.candidates);
   }

@@ -39,10 +39,14 @@ SmallRadiusResult small_radius(billboard::ProbeOracle& oracle, billboard::Billbo
   res.parts = s;
   res.iterations = K;
 
-  const auto min_votes = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::ceil(
-             alpha * static_cast<double>(players.size()) / params.sr_vote_div)));
   const double alpha_zr = alpha / params.sr_vote_div;
+
+  // Degradation: crashed/degraded players are excluded from votes and
+  // skipped when probing; quorum thresholds are taken over survivors.
+  auto* injector = oracle.fault_injector();
+  const auto failed = [injector](PlayerId p) {
+    return injector != nullptr && injector->is_failed(p);
+  };
 
   // u[t][i] = player i's stitched candidate from iteration t.
   std::vector<std::vector<bits::BitVector>> stitched(
@@ -66,8 +70,18 @@ SmallRadiusResult small_radius(billboard::ProbeOracle& oracle, billboard::Billbo
       const auto zr_out = zero_radius_bits(oracle, board, players, part_objects, alpha_zr,
                                            params, rng.split(t, 0xB0B, i), prefix);
 
-      // U_i: vectors output by at least alpha*n/5 players.
-      const auto voted = billboard::tally(zr_out, static_cast<std::uint32_t>(min_votes));
+      // U_i: vectors output by at least alpha/5 of the *surviving*
+      // players (quorum over survivors; identical to the paper's
+      // threshold when nobody failed).
+      std::vector<bits::BitVector> votable;
+      votable.reserve(players.size());
+      for (std::size_t pi = 0; pi < players.size(); ++pi) {
+        if (!failed(players[pi])) votable.push_back(zr_out[pi]);
+      }
+      const auto min_votes = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::ceil(
+                 alpha * static_cast<double>(votable.size()) / params.sr_vote_div)));
+      const auto voted = billboard::tally(votable, static_cast<std::uint32_t>(min_votes));
       std::vector<bits::BitVector> candidates;
       candidates.reserve(voted.size());
       for (const auto& vv : voted) candidates.push_back(vv.vec);
@@ -75,15 +89,17 @@ SmallRadiusResult small_radius(billboard::ProbeOracle& oracle, billboard::Billbo
       // Step 1c: each player adopts the closest popular vector within
       // distance D (falling back to its own Zero Radius output when no
       // vector met the popularity bar — that player is not typical in
-      // this part and its pick is corrected by step 2 anyway).
+      // this part and its pick is corrected by step 2 anyway). Failed
+      // players stop probing; their stitched rows keep the Zero Radius
+      // best effort.
       engine::parallel_for(0, players.size(), [&](std::size_t pi) {
         const PlayerId p = players[pi];
         bits::BitVector chosen;
-        if (candidates.empty()) {
+        if (candidates.empty() || failed(p)) {
           chosen = zr_out[pi];
         } else {
           const auto sel = select_closest(candidates, D, [&](std::uint32_t j) {
-            return oracle.probe(p, part_objects[j]);
+            return oracle.probe_resilient(p, part_objects[j]);
           });
           chosen = candidates[sel.index];
         }
@@ -99,11 +115,17 @@ SmallRadiusResult small_radius(billboard::ProbeOracle& oracle, billboard::Billbo
   res.outputs.assign(players.size(), bits::BitVector(m));
   engine::parallel_for(0, players.size(), [&](std::size_t pi) {
     const PlayerId p = players[pi];
+    if (failed(p)) {
+      // Can't probe to compare iterations: keep the first iteration's
+      // best effort rather than an empty row.
+      res.outputs[pi] = stitched[0][pi];
+      return;
+    }
     std::vector<bits::BitVector> candidates;
     candidates.reserve(K);
     for (std::size_t t = 0; t < K; ++t) candidates.push_back(stitched[t][pi]);
     const auto sel = select_closest(candidates, final_bound, [&](std::uint32_t j) {
-      return oracle.probe(p, objects[j]);
+      return oracle.probe_resilient(p, objects[j]);
     });
     res.outputs[pi] = std::move(candidates[sel.index]);
   });

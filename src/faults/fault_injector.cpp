@@ -1,0 +1,134 @@
+#include "tmwia/faults/fault_injector.hpp"
+
+namespace tmwia::faults {
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t z = a * 0x9e3779b97f4a7c15ull + b * 0xbf58476d1ce4e5b9ull + c + 1;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+bool bernoulli_hash(std::uint64_t h, double p) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+}
+
+void set_flag(std::vector<std::atomic<std::uint8_t>>& flags, PlayerId p) {
+  flags[p].store(1, std::memory_order_relaxed);
+}
+
+std::vector<PlayerId> flagged(const std::vector<std::atomic<std::uint8_t>>& flags) {
+  std::vector<PlayerId> out;
+  for (PlayerId p = 0; p < flags.size(); ++p) {
+    if (flags[p].load(std::memory_order_relaxed) != 0) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, std::size_t n_players)
+    : plan_(std::move(plan)),
+      n_(n_players),
+      windows_(n_players),
+      attempts_(n_players),
+      post_seq_(n_players),
+      down_(n_players),
+      degraded_(n_players),
+      orphaned_(n_players),
+      was_crashed_(n_players),
+      was_recovered_(n_players) {
+  for (PlayerId p = 0; p < n_; ++p) windows_[p] = plan_.crash_window(p);
+}
+
+FaultInjector::Attempt FaultInjector::on_probe_attempt(PlayerId p) {
+  const auto attempt = attempts_[p].fetch_add(1, std::memory_order_relaxed);
+  if (!round_clock_.load(std::memory_order_relaxed)) {
+    // Attempt-clock mode: crash at the plan's round, permanently (the
+    // centrally-simulated phases have no global clock to recover on).
+    if (attempt >= windows_[p].at && down_[p].load(std::memory_order_relaxed) == 0) {
+      set_flag(down_, p);
+      set_flag(was_crashed_, p);
+    }
+  }
+  if (is_down(p)) return Attempt::kCrashed;
+  if (plan_.probe_fail_rate > 0.0 &&
+      bernoulli_hash(mix(plan_.seed ^ 0xFA17ull, p, attempt), plan_.probe_fail_rate)) {
+    probe_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Attempt::kFail;
+  }
+  return Attempt::kOk;
+}
+
+void FaultInjector::note_retry(PlayerId p) {
+  (void)p;
+  retries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::mark_degraded(PlayerId p) { set_flag(degraded_, p); }
+
+void FaultInjector::note_fallback_read(PlayerId p) {
+  (void)p;
+  fallback_reads_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::note_orphan(PlayerId p) { set_flag(orphaned_, p); }
+
+void FaultInjector::begin_round(std::uint64_t round) {
+  round_clock_.store(true, std::memory_order_relaxed);
+  for (PlayerId p = 0; p < n_; ++p) {
+    const auto& w = windows_[p];
+    const bool down_now = round >= w.at && round < w.recover;
+    const bool was_down = down_[p].load(std::memory_order_relaxed) != 0;
+    if (down_now && !was_down) {
+      set_flag(down_, p);
+      set_flag(was_crashed_, p);
+    } else if (!down_now && was_down && round >= w.recover) {
+      down_[p].store(0, std::memory_order_relaxed);
+      set_flag(was_recovered_, p);
+    }
+  }
+}
+
+bool FaultInjector::post_lost(PlayerId p, std::uint64_t tag) const {
+  return plan_.post_drop_rate > 0.0 &&
+         bernoulli_hash(mix(plan_.seed ^ 0xD209ull, p, tag), plan_.post_drop_rate);
+}
+
+void FaultInjector::note_post_dropped() {
+  posts_dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::delay_for_post(PlayerId p) {
+  if (plan_.post_delay_rate <= 0.0 || plan_.post_delay_rounds == 0) return 0;
+  const auto seq = post_seq_[p].fetch_add(1, std::memory_order_relaxed);
+  if (!bernoulli_hash(mix(plan_.seed ^ 0xDE1A1ull, p, seq), plan_.post_delay_rate)) return 0;
+  posts_delayed_.fetch_add(1, std::memory_order_relaxed);
+  return plan_.post_delay_rounds;
+}
+
+FaultReport FaultInjector::report() const {
+  FaultReport r;
+  r.probe_failures = probe_failures_.load(std::memory_order_relaxed);
+  r.retries = retries_.load(std::memory_order_relaxed);
+  r.fallback_reads = fallback_reads_.load(std::memory_order_relaxed);
+  r.posts_dropped = posts_dropped_.load(std::memory_order_relaxed);
+  r.posts_delayed = posts_delayed_.load(std::memory_order_relaxed);
+  r.crashed = flagged(was_crashed_);
+  r.recovered = flagged(was_recovered_);
+  r.degraded = flagged(degraded_);
+  r.orphaned = flagged(orphaned_);
+  return r;
+}
+
+std::uint64_t FaultInjector::channel_tag(std::string_view channel) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : channel) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace tmwia::faults

@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the tmwia_cli workflow: gen -> info -> run
 # (two algorithms) -> eval. Usage: cli_workflow.sh <path-to-tmwia_cli>
+#
+# CLI output always goes to a file first and is grepped from there:
+# piping straight into `grep -q` lets grep exit at the first match and
+# kill the CLI with SIGPIPE mid-write, which `set -o pipefail` then
+# reports as a (flaky) failure.
 set -euo pipefail
 
 CLI="$1"
@@ -8,20 +13,30 @@ DIR="$(mktemp -d)"
 trap 'rm -rf "$DIR"' EXIT
 
 "$CLI" gen --kind=planted --n=128 --m=128 --alpha=0.5 --radius=1 --seed=4 \
-       --out="$DIR/world.tmw" | grep -q "wrote planted instance"
+       --out="$DIR/world.tmw" >"$DIR/gen.txt"
+grep -q "wrote planted instance" "$DIR/gen.txt"
 
-"$CLI" info --in="$DIR/world.tmw" | tee "$DIR/info.txt"
+"$CLI" info --in="$DIR/world.tmw" >"$DIR/info.txt"
 grep -q "players: 128" "$DIR/info.txt"
 grep -q "communities: 1" "$DIR/info.txt"
 
 "$CLI" run --in="$DIR/world.tmw" --algo=unknown_d --alpha=0.5 --seed=5 \
-       --out="$DIR/est.txt" | grep -q "rounds"
-"$CLI" eval --in="$DIR/world.tmw" --outputs="$DIR/est.txt" | tee "$DIR/eval.txt"
+       --out="$DIR/est.txt" >"$DIR/run.txt"
+grep -q "rounds" "$DIR/run.txt"
+"$CLI" eval --in="$DIR/world.tmw" --outputs="$DIR/est.txt" >"$DIR/eval.txt"
 grep -q "overall mean error" "$DIR/eval.txt"
 
-# Solo must be exact: stretch column all zeros.
+# Solo must be exact: zero overall error.
 "$CLI" run --in="$DIR/world.tmw" --algo=solo --seed=6 --out="$DIR/solo.txt" >/dev/null
-"$CLI" eval --in="$DIR/world.tmw" --outputs="$DIR/solo.txt" | grep -q "0.00"
+"$CLI" eval --in="$DIR/world.tmw" --outputs="$DIR/solo.txt" >"$DIR/solo_eval.txt"
+grep -q "overall mean error: 0 /" "$DIR/solo_eval.txt"
+
+# A faulty run degrades gracefully and prints its fault report.
+"$CLI" run --in="$DIR/world.tmw" --algo=small --d=2 --alpha=0.5 --seed=7 \
+       --faults=seed=3,crash=0.1@40-200,probe=0.05,retry=3 \
+       --out="$DIR/faulty.txt" >"$DIR/faulty_run.txt"
+grep -q "fault report:" "$DIR/faulty_run.txt"
+grep -q "probe_failures:" "$DIR/faulty_run.txt"
 
 # Bad inputs fail cleanly.
 if "$CLI" run --in="$DIR/world.tmw" --algo=nonsense --out=/dev/null 2>/dev/null; then
@@ -30,6 +45,11 @@ if "$CLI" run --in="$DIR/world.tmw" --algo=nonsense --out=/dev/null 2>/dev/null;
 fi
 if "$CLI" info --in="$DIR/missing.tmw" 2>/dev/null; then
   echo "expected failure for missing file" >&2
+  exit 1
+fi
+if "$CLI" run --in="$DIR/world.tmw" --algo=solo --faults=warp=0.5 \
+     --out=/dev/null 2>/dev/null; then
+  echo "expected failure for malformed fault plan" >&2
   exit 1
 fi
 

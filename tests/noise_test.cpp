@@ -79,6 +79,60 @@ TEST(Noise, ProbedValueReflectsLatestPost) {
   }
 }
 
+TEST(Noise, ZeroEpsilonIsEquivalentToNone) {
+  // eps = 0 must be bit-for-bit kNone under every kind, not merely
+  // "unlikely to flip": bernoulli_hash draws in [0, 1), so a threshold
+  // of 0 can never fire.
+  rng::Rng gen(41);
+  const auto inst = matrix::uniform_random(4, 256, gen);
+  ProbeOracle plain(inst.matrix, NoiseModel::none());
+  ProbeOracle sticky(inst.matrix, NoiseModel::sticky(0.0, 99));
+  ProbeOracle fresh(inst.matrix, NoiseModel::fresh(0.0, 99));
+  for (matrix::PlayerId p = 0; p < 4; ++p) {
+    for (ObjectId j = 0; j < 256; ++j) {
+      const bool truth = plain.probe(p, j);
+      EXPECT_EQ(sticky.probe(p, j), truth);
+      EXPECT_EQ(fresh.probe(p, j), truth);
+    }
+  }
+}
+
+TEST(Noise, FullEpsilonStickyIsDeterministicComplement) {
+  // eps = 1 flips every read, deterministically: probes always return
+  // the complement of the truth, and re-probes agree with themselves.
+  rng::Rng gen(43);
+  const auto inst = matrix::uniform_random(2, 256, gen);
+  ProbeOracle o(inst.matrix, NoiseModel::sticky(1.0, 7));
+  for (matrix::PlayerId p = 0; p < 2; ++p) {
+    for (ObjectId j = 0; j < 256; ++j) {
+      const bool read = o.probe(p, j);
+      EXPECT_NE(read, inst.matrix.value(p, j));
+      EXPECT_EQ(o.probe(p, j), read);
+    }
+  }
+}
+
+TEST(Noise, FreshReprobeCanContradictThePostedValue) {
+  // Under fresh noise the billboard carries the *latest* read: a
+  // re-probe may disagree with what was posted before, and when it does
+  // the posted value must follow the new read.
+  const auto mat = zeros(1, 4096);
+  ProbeOracle o(mat, NoiseModel::fresh(0.3, 17));
+  std::size_t contradictions = 0;
+  for (ObjectId j = 0; j < 4096; ++j) {
+    const bool posted_before = o.probe(0, j);
+    ASSERT_EQ(o.probed_value(0, j), posted_before);
+    const bool reread = o.probe(0, j);
+    if (reread != posted_before) {
+      ++contradictions;
+      EXPECT_EQ(o.probed_value(0, j), reread);
+    }
+  }
+  // ~2*eps*(1-eps) = 42% of re-probes contradict the posted value.
+  EXPECT_GT(contradictions, 1400u);
+  EXPECT_LT(contradictions, 2100u);
+}
+
 TEST(Noise, ZeroRadiusDegradesGracefullyUnderStickyNoise) {
   // An exact-agreement community read through sticky eps-noise is an
   // (alpha, ~2*eps*m) community of the *read* vectors; Zero Radius

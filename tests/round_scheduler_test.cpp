@@ -177,5 +177,68 @@ TEST(Mimic, LonerFallsBackToOwnProbes) {
   EXPECT_EQ(err_on_probed, 0u);
 }
 
+/// Misbehaves on demand: throws out of next_probe (or on_result) at a
+/// chosen round to exercise the scheduler's strategy isolation.
+class ThrowingStrategy final : public PlayerStrategy {
+ public:
+  ThrowingStrategy(std::size_t objects, std::size_t throw_round, bool from_on_result)
+      : estimate_(objects), throw_round_(throw_round), from_on_result_(from_on_result) {}
+
+  std::optional<ObjectId> next_probe(const RoundView& view) override {
+    if (!from_on_result_ && view.round() == throw_round_) {
+      throw std::runtime_error("strategy bug: next_probe");
+    }
+    return static_cast<ObjectId>(next_);
+  }
+  void on_result(ObjectId o, bool value) override {
+    if (from_on_result_ && next_ == throw_round_) {
+      throw std::runtime_error("strategy bug: on_result");
+    }
+    estimate_.set(o, value);
+    ++next_;
+  }
+  [[nodiscard]] bool done() const override { return next_ >= estimate_.size(); }
+
+ private:
+  bits::BitVector estimate_;
+  std::size_t throw_round_;
+  bool from_on_result_;
+  std::size_t next_ = 0;
+};
+
+TEST(RoundScheduler, ThrowingStrategyIsIsolated) {
+  for (const bool from_on_result : {false, true}) {
+    rng::Rng rng(11);
+    auto inst = matrix::uniform_random(4, 16, rng);
+    ProbeOracle oracle(inst.matrix);
+    RoundScheduler sched(oracle);
+
+    std::vector<std::unique_ptr<PlayerStrategy>> strategies;
+    std::vector<SoloStrategy*> solos;
+    strategies.push_back(std::make_unique<ThrowingStrategy>(16, 3, from_on_result));
+    for (int p = 1; p < 4; ++p) {
+      auto s = std::make_unique<SoloStrategy>(16);
+      solos.push_back(s.get());
+      strategies.push_back(std::move(s));
+    }
+
+    const auto res = sched.run(strategies, 1000);
+
+    // The buggy player is marked failed and the run is not all-done...
+    EXPECT_EQ(res.failed_strategies, std::vector<PlayerId>{0});
+    EXPECT_FALSE(res.all_done);
+    // ...but everyone else finished their full 16 probes, unharmed.
+    EXPECT_EQ(res.rounds, 16u);
+    for (auto* s : solos) {
+      EXPECT_TRUE(s->done());
+    }
+    for (PlayerId p = 1; p < 4; ++p) {
+      EXPECT_EQ(oracle.invocations(p), 16u);
+    }
+    // The thrower stopped being driven after the bad round.
+    EXPECT_LE(oracle.invocations(0), 4u);
+  }
+}
+
 }  // namespace
 }  // namespace tmwia::billboard

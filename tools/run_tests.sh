@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Build and run the test suite twice: once plain, once under
+# ASan+UBSan (-DTMWIA_SANITIZE=ON). Usage:
+#
+#   tools/run_tests.sh [--plain-only|--sanitize-only] [-j N]
+#
+# Build trees go to build/ (plain) and build-asan/ (sanitized) under the
+# repo root; both runs must pass for the script to exit 0.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+RUN_PLAIN=1
+RUN_SAN=1
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --plain-only) RUN_SAN=0 ;;
+    --sanitize-only) RUN_PLAIN=0 ;;
+    -j) JOBS="$2"; shift ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+run_suite() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S "$ROOT" "$@"
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+if [[ $RUN_PLAIN -eq 1 ]]; then
+  echo "== plain =="
+  run_suite "$ROOT/build"
+fi
+
+if [[ $RUN_SAN -eq 1 ]]; then
+  echo "== ASan + UBSan =="
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+  run_suite "$ROOT/build-asan" -DTMWIA_SANITIZE=ON
+fi
+
+echo "all requested suites passed"

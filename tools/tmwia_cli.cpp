@@ -14,6 +14,7 @@
 // structure. Every subcommand is deterministic given --seed.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "tmwia/baselines/baselines.hpp"
@@ -35,6 +36,7 @@ int usage() {
       "  info  --in=FILE\n"
       "  run   --in=FILE --algo=zero|small|large|unknown_d|anytime|solo|knn|svd\n"
       "        [--alpha=A --d=D --profile=practical|paper --budget=B]\n"
+      "        [--faults=seed=S,crash=R@A-B,recover=K,probe=R,retry=N,drop=R,delay=R@K]\n"
       "        --seed=S --out=FILE\n"
       "  eval  --in=FILE --outputs=FILE\n";
   return 2;
@@ -106,6 +108,16 @@ int cmd_run(const io::Args& args) {
   billboard::Billboard board;
   std::vector<bits::BitVector> outputs;
 
+  // Optional fault injection: a seeded declarative plan (see
+  // faults::FaultPlan::parse for the grammar). The run then ends with a
+  // FaultReport of everything that fired.
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (const auto spec = args.get("faults"); spec.has_value()) {
+    const auto plan = faults::FaultPlan::parse(*spec);
+    injector = std::make_unique<faults::FaultInjector>(plan, inst.matrix.players());
+    oracle.set_fault_injector(injector.get());
+  }
+
   if (algo == "unknown_d") {
     outputs = core::find_preferences_unknown_d(oracle, &board, alpha, params, rng::Rng(seed))
                   .outputs;
@@ -140,6 +152,9 @@ int cmd_run(const io::Args& args) {
   std::cout << "algo: " << algo << "\nrounds (max probes/player): "
             << oracle.max_invocations() << "\ntotal probes: " << oracle.total_invocations()
             << "\nsolo cost would be: " << inst.matrix.objects() << " rounds\n";
+  if (injector != nullptr) {
+    std::cout << "fault report:\n" << injector->report().to_string();
+  }
   return 0;
 }
 
