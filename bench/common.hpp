@@ -4,19 +4,28 @@
 //   * prints the table(s) it reproduces via io::Table,
 //   * accepts --seed=... and --trials=... where it makes sense,
 //   * finishes with a PASS/FAIL verdict line against the paper's bound
-//     so `for b in build/bench/*; do $b; done` doubles as a check.
+//     so `for b in build/bench/*; do $b; done` doubles as a check,
+//   * writes a machine-readable BENCH_<name>.json via BenchReport so
+//     the perf trajectory accumulates run over run.
 #pragma once
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
 
 #include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/engine/thread_pool.hpp"
 #include "tmwia/io/args.hpp"
 #include "tmwia/io/table.hpp"
 #include "tmwia/matrix/preference_matrix.hpp"
+#include "tmwia/obs/metrics.hpp"
+#include "tmwia/obs/trace.hpp"
 
 namespace tmwia::bench {
 
@@ -46,6 +55,111 @@ inline int verdict(const std::string& experiment, bool ok) {
   std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", experiment.c_str());
   return ok ? 0 : 1;
 }
+
+/// Per-experiment machine-readable reporting plus the shared
+/// observability flags. Construct it first thing in main:
+///
+///   BenchReport report(args, "e8_main_theorem");
+///   ...
+///   report.metric("rounds", rounds);
+///   report.metric("stretch", stretch);
+///   return report.finish(ok);
+///
+/// Handled flags:
+///   --json=FILE     where to write the report (default BENCH_<name>.json)
+///   --metrics=FILE  final global-registry snapshot as one-line JSON
+///   --trace=FILE    span/event JSONL (deterministic logical clock)
+///   --threads=N     global thread-pool size (0 = hardware)
+///
+/// finish() prints the usual [PASS]/[FAIL] verdict line and writes
+/// {"bench":...,"ok":...,"wall_ms":...,"metrics":{...}}. Wall time is
+/// only in the BENCH json — the --metrics/--trace artifacts stay
+/// byte-identical across --threads for a fixed seed.
+class BenchReport {
+ public:
+  BenchReport(const io::Args& args, std::string name)
+      : name_(std::move(name)),
+        json_path_(args.get("json").value_or("BENCH_" + name_ + ".json")),
+        metrics_path_(args.get("metrics").value_or("")),
+        start_(std::chrono::steady_clock::now()) {
+    engine::set_global_threads(static_cast<std::size_t>(args.get_int("threads", 0)));
+    if (!metrics_path_.empty()) obs::MetricsRegistry::global().set_enabled(true);
+    if (const auto trace_path = args.get("trace"); trace_path.has_value()) {
+      trace_out_.open(*trace_path);
+      if (trace_out_) {
+        tracer_ = std::make_unique<obs::Tracer>(trace_out_);
+        obs::set_tracer(tracer_.get());
+      } else {
+        std::fprintf(stderr, "warning: cannot write %s\n", trace_path->c_str());
+      }
+    }
+  }
+
+  ~BenchReport() {
+    if (tracer_ != nullptr && obs::tracer() == tracer_.get()) obs::set_tracer(nullptr);
+  }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  void metric(const std::string& key, double v) { metrics_[key] = v; }
+
+  /// The oracle ledgers, under the conventional keys.
+  void oracle_totals(const billboard::ProbeOracle& oracle) {
+    metric("rounds", static_cast<double>(oracle.max_invocations()));
+    metric("total_probes", static_cast<double>(oracle.total_invocations()));
+  }
+
+  int finish(bool ok) {
+    const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+    if (tracer_ != nullptr) {
+      if (obs::tracer() == tracer_.get()) obs::set_tracer(nullptr);
+      tracer_->flush();
+    }
+    if (!metrics_path_.empty()) {
+      std::ofstream ms(metrics_path_);
+      if (ms) {
+        ms << obs::MetricsRegistry::global().snapshot().to_json() << '\n';
+      } else {
+        std::fprintf(stderr, "warning: cannot write %s\n", metrics_path_.c_str());
+      }
+    }
+    std::ofstream js(json_path_);
+    if (js) {
+      js << "{\"bench\":\"" << name_ << "\",\"ok\":" << (ok ? "true" : "false")
+         << ",\"wall_ms\":" << wall_ms << ",\"metrics\":{";
+      bool first = true;
+      for (const auto& [key, v] : metrics_) {
+        if (!first) js << ',';
+        first = false;
+        js << '"' << key << "\":";
+        char buf[40];
+        if (std::nearbyint(v) == v && std::fabs(v) < 1e15) {
+          std::snprintf(buf, sizeof buf, "%.0f", v);
+        } else {
+          std::snprintf(buf, sizeof buf, "%.17g", v);
+        }
+        js << buf;
+      }
+      js << "}}\n";
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", json_path_.c_str());
+    }
+    std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", name_.c_str());
+    return ok ? 0 : 1;
+  }
+
+ private:
+  std::string name_;
+  std::string json_path_;
+  std::string metrics_path_;
+  std::chrono::steady_clock::time_point start_;
+  std::map<std::string, double> metrics_;
+  std::ofstream trace_out_;
+  std::unique_ptr<obs::Tracer> tracer_;
+};
 
 /// If the harness was invoked with --csv=DIR, mirror `table` to
 /// DIR/<name>.csv for plotting.

@@ -27,6 +27,7 @@ using namespace tmwia;
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  bench::BenchReport report(args, "e10_anytime");
   const auto seed = args.get_seed("seed", 10);
   const std::size_t n = static_cast<std::size_t>(args.get_int("n", 1024));
   const auto params = core::Params::practical();
@@ -77,6 +78,8 @@ int main(int argc, char** argv) {
   const bool final_exact = discs.back() == 0;       // alpha=1/8 phase resolves it
   const bool under_solo = total_rounds < n / 2;     // entire schedule beats solo probing
   const bool ok = early_blind && final_exact && under_solo;
+  report.metric("rounds", static_cast<double>(total_rounds));
+  report.metric("final_discrepancy", static_cast<double>(discs.back()));
 
   std::cout << "\nPaper (Section 6): repeated doubling over alpha yields an anytime "
                "algorithm whose output at time t is close to the best possible for a "
@@ -86,5 +89,5 @@ int main(int argc, char** argv) {
                "to 0, and the whole schedule costs "
             << total_rounds << " rounds — under half the solo budget m = " << n
             << ". RSelect's keep-the-better step makes quality non-regressing.\n";
-  return bench::verdict("E10 anytime", ok);
+  return report.finish(ok);
 }

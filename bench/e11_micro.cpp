@@ -5,13 +5,19 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstring>
+#include <vector>
 
+#include "common.hpp"
 #include "tmwia/billboard/billboard.hpp"
 #include "tmwia/billboard/probe_oracle.hpp"
 #include "tmwia/core/coalesce.hpp"
+#include "tmwia/core/select.hpp"
 #include "tmwia/engine/thread_pool.hpp"
 #include "tmwia/linalg/dense_matrix.hpp"
 #include "tmwia/matrix/generators.hpp"
+#include "tmwia/obs/metrics.hpp"
 #include "tmwia/rng/partition.hpp"
 
 namespace {
@@ -118,6 +124,84 @@ void BM_ProbeOracle(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeOracle);
 
+// The raw cost of one disabled (Arg 0) vs enabled (Arg 1) counter
+// increment — the per-event price the instrumentation adds.
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  auto& reg = obs::MetricsRegistry::global();
+  const bool was = reg.enabled();
+  reg.set_enabled(state.range(0) != 0);
+  auto c = reg.counter("bench.counter_add");
+  for (auto _ : state) {
+    c.add(1);
+  }
+  reg.set_enabled(was);
+}
+BENCHMARK(BM_MetricsCounterAdd)->Arg(0)->Arg(1);
+
+/// Wall time of `iters` instrumented select_closest calls, in ms. This
+/// is the end-to-end workload used for the metrics overhead budget:
+/// each call crosses the core.select.* counter/histogram sites.
+double select_workload_ms(std::size_t iters) {
+  rng::Rng rng(11);
+  const auto truth = matrix::random_vector(512, rng);
+  std::vector<bits::BitVector> cands;
+  cands.push_back(matrix::flip_random(truth, 3, rng));
+  for (std::size_t i = 1; i < 8; ++i) cands.push_back(matrix::random_vector(512, rng));
+  std::size_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t it = 0; it < iters; ++it) {
+    const auto res = core::select_closest(
+        cands, 3, [&](std::uint32_t j) { return truth.get(j); });
+    sink += res.index + res.probes;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(sink);
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: --benchmark_* flags go to google-benchmark, everything
+// else (--json/--metrics/--trace/--threads) to BenchReport. After the
+// microbenchmarks we measure the registry's end-to-end overhead
+// (metrics on vs. off on the Select workload, best of 5) and gate the
+// verdict on the <= 5% budget from DESIGN.md.
+int main(int argc, char** argv) {
+  using namespace tmwia;
+  std::vector<char*> gbench_argv{argv[0]};
+  std::vector<char*> our_argv{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    (std::strncmp(argv[i], "--benchmark", 11) == 0 ? gbench_argv : our_argv)
+        .push_back(argv[i]);
+  }
+  const io::Args args(static_cast<int>(our_argv.size()), our_argv.data());
+  bench::BenchReport report(args, "e11_micro");
+
+  int gbench_argc = static_cast<int>(gbench_argv.size());
+  benchmark::Initialize(&gbench_argc, gbench_argv.data());
+  benchmark::RunSpecifiedBenchmarks();
+
+  auto& reg = obs::MetricsRegistry::global();
+  const bool was_enabled = reg.enabled();
+  const std::size_t iters =
+      static_cast<std::size_t>(args.get_int("overhead-iters", 20000));
+  select_workload_ms(iters / 4);  // warm-up
+  double off_ms = 1e300;
+  double on_ms = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    reg.set_enabled(false);
+    off_ms = std::min(off_ms, select_workload_ms(iters));
+    reg.set_enabled(true);
+    on_ms = std::min(on_ms, select_workload_ms(iters));
+  }
+  reg.set_enabled(was_enabled);
+  const double overhead_pct = (on_ms / off_ms - 1.0) * 100.0;
+  std::printf("\nselect workload: metrics off %.3f ms, on %.3f ms, overhead %.2f%%\n",
+              off_ms, on_ms, overhead_pct);
+  report.metric("select_ms_metrics_off", off_ms);
+  report.metric("select_ms_metrics_on", on_ms);
+  report.metric("metrics_overhead_pct", overhead_pct);
+  const bool ok = overhead_pct <= 5.0;
+  benchmark::Shutdown();
+  return report.finish(ok);
+}

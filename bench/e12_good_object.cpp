@@ -20,6 +20,7 @@ using namespace tmwia;
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  bench::BenchReport report(args, "e12_good_object");
   const auto seed = args.get_seed("seed", 12);
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 5));
 
@@ -63,5 +64,5 @@ int main(int argc, char** argv) {
                "three orders of magnitude under the naive n*m — while reconstructing "
                "*complete* preference vectors (this paper's problem) needs the full "
                "Zero/Small/Large Radius machinery.\n";
-  return bench::verdict("E12 good object", ok);
+  return report.finish(ok);
 }

@@ -22,6 +22,7 @@ using namespace tmwia;
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  bench::BenchReport report(args, "e13_noise");
   const auto seed = args.get_seed("seed", 13);
   const std::size_t n = static_cast<std::size_t>(args.get_int("n", 256));
   const auto params = core::Params::practical();
@@ -78,5 +79,5 @@ int main(int argc, char** argv) {
                "5D guarantee of Theorem 4.4 — no algorithmic change required, which is "
                "the point of parameterizing by community diameter rather than assuming "
                "a noise model.\n";
-  return bench::verdict("E13 noise robustness", ok);
+  return report.finish(ok);
 }

@@ -56,6 +56,7 @@ bits::BitVector top_vote(const std::vector<bits::BitVector>& posts) {
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  bench::BenchReport report(args, "e14_byzantine");
   const auto seed = args.get_seed("seed", 14);
   const std::size_t n = static_cast<std::size_t>(args.get_int("n", 256));
   const double alpha = 0.4;
@@ -129,5 +130,5 @@ int main(int argc, char** argv) {
                "only adds Select probes (overhead column) and never flips the output. "
                "Raw popularity voting is poisoned as soon as the coalition outvotes the "
                "community.\n";
-  return bench::verdict("E14 byzantine", ok);
+  return report.finish(ok);
 }

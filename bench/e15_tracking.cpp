@@ -24,6 +24,7 @@ using namespace tmwia;
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  bench::BenchReport report(args, "e15_tracking");
   const auto seed = args.get_seed("seed", 15);
   const std::size_t n = static_cast<std::size_t>(args.get_int("n", 256));
   const std::size_t epochs = static_cast<std::size_t>(args.get_int("epochs", 5));
@@ -63,9 +64,10 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   bench::maybe_write_csv(args, table, "e15_tracking");
+  report.metric("max_D", static_cast<double>(max_D));
 
   std::cout << "\nThe interactive model reads current truth, so re-running keeps every "
                "epoch's error at O(D); the frozen epoch-0 estimate decays at the drift "
                "rate — the gap a train-once non-interactive system cannot close.\n";
-  return bench::verdict("E15 tracking", ok);
+  return report.finish(ok);
 }

@@ -52,6 +52,7 @@ Outcome run_faulty(const matrix::Instance& inst, const faults::FaultPlan& plan,
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  bench::BenchReport report(args, "e16_faults");
   const auto seed = args.get_seed("seed", 16);
   const std::size_t n = static_cast<std::size_t>(args.get_int("n", 256));
 
@@ -107,5 +108,5 @@ int main(int argc, char** argv) {
                "quorum, but the survivor stretch stays in the constant regime: quorum "
                "thresholds scale with the survivors and orphaned players re-adopt from "
                "the surviving posts instead of failing the run.\n";
-  return bench::verdict("E16 fault tolerance", ok);
+  return report.finish(ok);
 }

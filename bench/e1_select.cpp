@@ -20,6 +20,7 @@ using namespace tmwia;
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  bench::BenchReport report(args, "e1_select");
   const auto seed = args.get_seed("seed", 1);
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 100));
   const std::size_t m = static_cast<std::size_t>(args.get_int("m", 512));
@@ -60,5 +61,5 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   std::cout << "\nPaper: probes <= k(D+1), output is a closest candidate (deterministic).\n";
-  return bench::verdict("E1 select", ok);
+  return report.finish(ok);
 }

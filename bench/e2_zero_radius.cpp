@@ -19,6 +19,7 @@ using namespace tmwia;
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  bench::BenchReport report(args, "e2_zero_radius");
   const auto seed = args.get_seed("seed", 2);
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 3));
   const auto params = core::Params::practical();
@@ -113,5 +114,5 @@ int main(int argc, char** argv) {
                  "one with a zero failure column here; the paper's 8x constant buys "
                  "the n^{-Omega(1)} tail the proofs need.\n";
   }
-  return bench::verdict("E2 zero radius", ok);
+  return report.finish(ok);
 }

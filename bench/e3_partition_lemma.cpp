@@ -64,6 +64,7 @@ bool partition_successful(std::size_t M, std::size_t m, std::size_t d, std::size
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  bench::BenchReport report(args, "e3_partition_lemma");
   const auto seed = args.get_seed("seed", 3);
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 200));
   const std::size_t M = static_cast<std::size_t>(args.get_int("M", 25));
@@ -101,5 +102,5 @@ int main(int argc, char** argv) {
                "s >= 100 d^{3/2}.\nThe bound is loose: the measured failure rate "
                "collapses to ~0 already around s ~ d^{3/2}, which is why the "
                "practical profile uses sr_s_mult = 2.\n";
-  return bench::verdict("E3 partition lemma", ok);
+  return report.finish(ok);
 }

@@ -21,6 +21,7 @@ using namespace tmwia;
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  bench::BenchReport report(args, "e4_small_radius");
   const auto seed = args.get_seed("seed", 4);
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 3));
   const std::size_t n = static_cast<std::size_t>(args.get_int("n", 512));
@@ -91,5 +92,5 @@ int main(int argc, char** argv) {
                 static_cast<double>(oracle.max_invocations())});
   }
   ab.print(std::cout);
-  return bench::verdict("E4 small radius", ok);
+  return report.finish(ok);
 }

@@ -15,6 +15,7 @@ using namespace tmwia;
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  bench::BenchReport report(args, "e5_coalesce");
   const auto seed = args.get_seed("seed", 5);
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 50));
   const std::size_t n = static_cast<std::size_t>(args.get_int("n", 100));
@@ -82,5 +83,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nPaper: |B| <= 1/alpha; unique representative within 2D of every "
                "cluster member; <= 5D/alpha '?' entries; deterministic and probe-free.\n";
-  return bench::verdict("E5 coalesce", ok);
+  return report.finish(ok);
 }

@@ -18,6 +18,7 @@ using namespace tmwia;
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  bench::BenchReport report(args, "e6_large_radius");
   const auto seed = args.get_seed("seed", 6);
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 3));
   const double alpha = args.get_double("alpha", 0.5);
@@ -68,5 +69,5 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper: error O(D/alpha) [column err/(D/a) bounded by a constant]; "
                "typical players end with identical outputs (step 4 runs a zero-diameter "
                "virtual instance); probes O(log^{7/2} n / alpha^2) for m = Theta(n).\n";
-  return bench::verdict("E6 large radius", ok);
+  return report.finish(ok);
 }

@@ -19,6 +19,7 @@ using namespace tmwia;
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  bench::BenchReport report(args, "e7_rselect");
   const auto seed = args.get_seed("seed", 7);
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 60));
   const std::size_t m = static_cast<std::size_t>(args.get_int("m", 1024));
@@ -67,5 +68,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nPaper: O(|V|^2 log n) probes regardless of distances; output within "
                "O(D) of the closest candidate w.h.p.\n";
-  return bench::verdict("E7 rselect", ok);
+  return report.finish(ok);
 }

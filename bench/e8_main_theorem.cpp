@@ -19,6 +19,7 @@ using namespace tmwia;
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  bench::BenchReport report(args, "e8_main_theorem");
   const auto seed = args.get_seed("seed", 8);
   const auto params = core::Params::practical();
 
@@ -74,5 +75,8 @@ int main(int argc, char** argv) {
                "a sub-linear slope; the asymptotic-regime component is measured "
                "directly in E2, where Zero Radius alone has slope ~0.2.\n";
   ok = ok && fit.slope < 0.95 && ratio_decreasing;
-  return bench::verdict("E8 main theorem", ok);
+  report.metric("n_max", ns.back());
+  report.metric("rounds", rounds_list.back());
+  report.metric("loglog_slope", fit.slope);
+  return report.finish(ok);
 }

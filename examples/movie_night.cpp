@@ -59,10 +59,8 @@ int main(int argc, char** argv) {
     add_row("binge everything", res.rounds, res.outputs);
   }
   {
-    billboard::ProbeOracle oracle(world.matrix);
-    billboard::Billboard board;
-    const auto res = core::find_preferences_unknown_d(
-        oracle, &board, /*alpha=*/0.4, core::Params::practical(), rng::Rng(seed + 1));
+    Session session(world.matrix);
+    const auto res = session.alpha(0.4).seed(seed + 1).run();
     add_row("tmwia (collaborative)", res.rounds, res.outputs);
   }
   {

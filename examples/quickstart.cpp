@@ -1,7 +1,8 @@
 // Quickstart: the 60-line tour of the tmwia public API.
 //
 //   1. Build (or bring) a hidden preference matrix.
-//   2. Wrap it in a ProbeOracle — the only gateway player code gets.
+//   2. Hand it to a Session — the facade that wires the probe oracle
+//      and billboard for you.
 //   3. Run the main algorithm (here: unknown D, known community
 //      fraction alpha).
 //   4. Inspect outputs, probe costs and rounds.
@@ -34,14 +35,13 @@ int main(int argc, char** argv) {
   rng::Rng gen(seed);
   matrix::Instance inst = matrix::planted_community(n, n, {/*alpha=*/0.5, /*radius=*/2}, gen);
 
-  billboard::ProbeOracle oracle(inst.matrix);  // charges every probe
-  billboard::Billboard board;                  // the shared posting surface
-
   // Reconstruct everyone's preferences. alpha is the assumed community
   // fraction; D (the community diameter) is NOT needed — the driver
   // guesses D = 0, 1, 2, 4, ... and each player picks its best result.
-  const core::UnknownDResult result = core::find_preferences_unknown_d(
-      oracle, &board, /*alpha=*/0.5, core::Params::practical(), rng::Rng(seed + 1));
+  // The Session owns the probe oracle (which charges every probe) and
+  // the shared billboard.
+  Session session(inst.matrix);
+  const core::RunReport result = session.alpha(0.5).seed(seed + 1).run();
 
   // How well did the community do?
   const auto& community = inst.communities[0];

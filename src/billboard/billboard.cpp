@@ -2,9 +2,27 @@
 
 #include <algorithm>
 
+#include "tmwia/obs/metrics.hpp"
+
 namespace tmwia::billboard {
+namespace {
+
+struct BoardMetrics {
+  obs::MetricsRegistry::Counter posts =
+      obs::MetricsRegistry::global().counter("billboard.posts");
+  obs::MetricsRegistry::Counter reads =
+      obs::MetricsRegistry::global().counter("billboard.reads");
+};
+
+const BoardMetrics& board_metrics() {
+  static const BoardMetrics m;
+  return m;
+}
+
+}  // namespace
 
 void Billboard::post(const std::string& channel, matrix::PlayerId p, const bits::BitVector& v) {
+  board_metrics().posts.inc();
   std::lock_guard<std::mutex> lk(mu_);
   channels_[channel].posts.insert_or_assign(p, v);
 }
@@ -40,6 +58,7 @@ std::vector<VotedVector> tally(std::span<const bits::BitVector> posts,
 
 std::vector<VotedVector> Billboard::popular(const std::string& channel,
                                             std::uint32_t min_votes) const {
+  board_metrics().reads.inc();
   std::vector<bits::BitVector> posts;
   {
     std::lock_guard<std::mutex> lk(mu_);

@@ -1,7 +1,33 @@
 #include "tmwia/billboard/probe_oracle.hpp"
 
+#include "tmwia/obs/metrics.hpp"
+
 namespace tmwia::billboard {
 namespace {
+
+// Only the *rare* fault paths carry per-event counters; the probe()
+// success path stays uninstrumented (its cost is a couple of relaxed
+// atomics — a counter there would be a measurable fraction of it).
+// Aggregate probe totals are exported as gauges at serial points by
+// the callers (core entry points, Session) from the oracle's own
+// per-player ledgers.
+struct OracleMetrics {
+  obs::MetricsRegistry::Counter crashes =
+      obs::MetricsRegistry::global().counter("oracle.probe_crashes");
+  obs::MetricsRegistry::Counter failures =
+      obs::MetricsRegistry::global().counter("oracle.probe_failures");
+  obs::MetricsRegistry::Counter retries =
+      obs::MetricsRegistry::global().counter("oracle.retries");
+  obs::MetricsRegistry::Counter degraded =
+      obs::MetricsRegistry::global().counter("oracle.degraded");
+  obs::MetricsRegistry::Counter fallback_reads =
+      obs::MetricsRegistry::global().counter("oracle.fallback_reads");
+};
+
+const OracleMetrics& oracle_metrics() {
+  static const OracleMetrics m;
+  return m;
+}
 
 // SplitMix64-style stateless mixer for the sticky/fresh noise draws.
 std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
@@ -45,11 +71,13 @@ bool ProbeOracle::probe(PlayerId p, ObjectId o) {
   if (injector_ != nullptr) {
     switch (injector_->on_probe_attempt(p)) {
       case faults::FaultInjector::Attempt::kCrashed:
+        oracle_metrics().crashes.inc();
         throw faults::PlayerCrashedError(p);
       case faults::FaultInjector::Attempt::kFail:
         // The probe was sent and the round spent; only the result is
         // lost, so the retry shows up in the invocation accounting.
         invocations_[p].fetch_add(1, std::memory_order_relaxed);
+        oracle_metrics().failures.inc();
         throw faults::ProbeFailedError(p, o);
       case faults::FaultInjector::Attempt::kOk:
         break;
@@ -73,6 +101,7 @@ bool ProbeOracle::probe_resilient(PlayerId p, ObjectId o) {
   if (injector_ == nullptr) return probe(p, o);
   if (injector_->is_failed(p)) {
     injector_->note_fallback_read(p);
+    oracle_metrics().fallback_reads.inc();
     return fallback_read(p, o);
   }
   const std::size_t budget = injector_->plan().retry_budget;
@@ -82,12 +111,17 @@ bool ProbeOracle::probe_resilient(PlayerId p, ObjectId o) {
     } catch (const faults::ProbeFailedError&) {
       if (attempt >= budget) break;  // budget exhausted: degrade
       injector_->note_retry(p);
+      oracle_metrics().retries.inc();
     } catch (const faults::PlayerCrashedError&) {
       break;  // crash-stop: no point retrying
     }
   }
-  if (!injector_->is_down(p)) injector_->mark_degraded(p);
+  if (!injector_->is_down(p)) {
+    injector_->mark_degraded(p);
+    oracle_metrics().degraded.inc();
+  }
   injector_->note_fallback_read(p);
+  oracle_metrics().fallback_reads.inc();
   return fallback_read(p, o);
 }
 

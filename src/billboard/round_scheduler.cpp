@@ -2,7 +2,35 @@
 
 #include <stdexcept>
 
+#include "tmwia/obs/metrics.hpp"
+#include "tmwia/obs/trace.hpp"
+
 namespace tmwia::billboard {
+namespace {
+
+struct SchedulerMetrics {
+  obs::MetricsRegistry::Counter rounds =
+      obs::MetricsRegistry::global().counter("scheduler.rounds");
+  obs::MetricsRegistry::Counter crash_skips =
+      obs::MetricsRegistry::global().counter("scheduler.crash_skips");
+  obs::MetricsRegistry::Counter idle =
+      obs::MetricsRegistry::global().counter("scheduler.idle_probes");
+  obs::MetricsRegistry::Counter posts_dropped =
+      obs::MetricsRegistry::global().counter("scheduler.posts_dropped");
+  obs::MetricsRegistry::Counter posts_delayed =
+      obs::MetricsRegistry::global().counter("scheduler.posts_delayed");
+  obs::MetricsRegistry::Counter strategy_exceptions =
+      obs::MetricsRegistry::global().counter("scheduler.strategy_exceptions");
+  obs::MetricsRegistry::Histogram active_players = obs::MetricsRegistry::global().histogram(
+      "scheduler.active_players", obs::MetricsRegistry::pow2_bounds(24));
+};
+
+const SchedulerMetrics& scheduler_metrics() {
+  static const SchedulerMetrics m;
+  return m;
+}
+
+}  // namespace
 
 RoundScheduler::RoundScheduler(ProbeOracle& oracle)
     : oracle_(&oracle),
@@ -15,6 +43,9 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
   }
 
   auto* injector = oracle_->fault_injector();
+  const auto& metrics = scheduler_metrics();
+  obs::Span span(obs::tracer(), "scheduler.run",
+                 {{"players", strategies.size()}, {"max_rounds", max_rounds}});
 
   ScheduleResult res;
   struct Pending {
@@ -49,6 +80,7 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
     const RoundView view(*oracle_, board_, posted_, round);
 
     bool any_active = false;
+    std::size_t active_players = 0;
     this_round.clear();
     vector_posts.clear();
     for (PlayerId p = 0; p < strategies.size(); ++p) {
@@ -56,11 +88,13 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
       if (!s || threw[p] != 0 || s->done()) continue;
       if (injector != nullptr && injector->is_down(p)) {
         ++res.crash_skips;
+        metrics.crash_skips.inc();
         // Only a player that will come back keeps the run alive.
         if (injector->may_recover(p)) any_active = true;
         continue;
       }
       any_active = true;
+      ++active_players;
       try {
         const auto choice = s->next_probe(view);
         if (choice.has_value()) {
@@ -91,16 +125,19 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
           }
         } else {
           ++res.idle_probes;
+          metrics.idle.inc();
         }
         for (auto& post : s->posts()) {
           if (injector != nullptr) {
             if (injector->post_lost(p, faults::FaultInjector::channel_tag(post.channel))) {
               injector->note_post_dropped();
               ++res.posts_dropped;
+              metrics.posts_dropped.inc();
               continue;
             }
             if (const auto delay = injector->delay_for_post(p); delay > 0) {
               ++res.posts_delayed;
+              metrics.posts_delayed.inc();
               delayed.push_back({round + static_cast<std::size_t>(delay), p, std::move(post)});
               continue;
             }
@@ -112,6 +149,7 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
         // it failed and keep driving everyone else.
         threw[p] = 1;
         res.failed_strategies.push_back(p);
+        metrics.strategy_exceptions.inc();
       }
     }
 
@@ -120,6 +158,8 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
       break;
     }
     ++res.rounds;
+    metrics.rounds.inc();
+    metrics.active_players.observe(active_players);
 
     for (const auto& [p, o] : this_round) {
       posted_[p].set(o, true);
@@ -140,6 +180,7 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
       break;
     }
   }
+  span.end({{"rounds", res.rounds}, {"all_done", res.all_done ? 1 : 0}});
   return res;
 }
 

@@ -10,6 +10,7 @@
 #include "tmwia/core/rselect.hpp"
 #include "tmwia/core/small_radius.hpp"
 #include "tmwia/engine/thread_pool.hpp"
+#include "tmwia/obs/trace.hpp"
 
 namespace tmwia::core {
 namespace {
@@ -24,6 +25,29 @@ std::vector<std::uint32_t> all_objects(const billboard::ProbeOracle& oracle) {
   std::vector<std::uint32_t> o(oracle.objects());
   std::iota(o.begin(), o.end(), 0u);
   return o;
+}
+
+const char* branch_name(Branch b) {
+  switch (b) {
+    case Branch::kZeroRadius: return "zero";
+    case Branch::kSmallRadius: return "small";
+    case Branch::kLargeRadius: return "large";
+  }
+  return "?";
+}
+
+/// Export the oracle ledgers as gauges and attach a registry snapshot.
+/// Called at the serial tail of every top-level entry point, so gauge
+/// values (and hence snapshots) do not depend on thread interleaving.
+void finalize_report(RunReport& res, const billboard::ProbeOracle& oracle) {
+  auto& reg = obs::MetricsRegistry::global();
+  if (!reg.enabled()) return;
+  reg.set_gauge("oracle.total_invocations",
+                static_cast<std::int64_t>(oracle.total_invocations()));
+  reg.set_gauge("oracle.total_charged", static_cast<std::int64_t>(oracle.total_charged()));
+  reg.set_gauge("oracle.max_invocations",
+                static_cast<std::int64_t>(oracle.max_invocations()));
+  res.metrics = reg.snapshot();
 }
 
 /// Orphan adoption, top level: players whose committee/candidate set
@@ -49,6 +73,10 @@ void rescue_orphans(billboard::ProbeOracle& oracle, std::vector<bits::BitVector>
     }
   }
   if (orphans.empty() || surviving.empty()) return;
+
+  static const auto c_rescued =
+      obs::MetricsRegistry::global().counter("core.orphans_rescued");
+  c_rescued.add(orphans.size());
 
   // Candidate pool: the most-supported surviving outputs (ties broken
   // lexicographically), capped like node-level orphan adoption.
@@ -79,30 +107,39 @@ void rescue_orphans(billboard::ProbeOracle& oracle, std::vector<bits::BitVector>
 
 }  // namespace
 
-FindPreferencesResult find_preferences(billboard::ProbeOracle& oracle,
-                                       billboard::Billboard* board, double alpha,
-                                       std::size_t D, const Params& params, rng::Rng rng) {
+RunReport find_preferences(billboard::ProbeOracle& oracle, billboard::Billboard* board,
+                           double alpha, std::size_t D, const Params& params, rng::Rng rng) {
   const auto players = all_players(oracle);
   const auto objects = all_objects(oracle);
   const auto before = oracle.snapshot();
   const auto probes_before = oracle.total_invocations();
 
-  FindPreferencesResult res;
+  obs::Span span(obs::tracer(), "find_preferences", {{"alpha", alpha}, {"D", D}});
+
+  RunReport res;
+  res.algo = RunReport::Algo::kFixedD;
   const double log_n = std::log2(static_cast<double>(std::max<std::size_t>(players.size(), 4)));
   const auto small_cutoff =
       static_cast<std::size_t>(std::ceil(params.lr_lambda_mult * log_n));
 
+  static const auto c_zero = obs::MetricsRegistry::global().counter("core.fp.branch.zero");
+  static const auto c_small = obs::MetricsRegistry::global().counter("core.fp.branch.small");
+  static const auto c_large = obs::MetricsRegistry::global().counter("core.fp.branch.large");
+
   if (D == 0) {
     res.branch = Branch::kZeroRadius;
+    c_zero.inc();
     res.outputs = zero_radius_bits(oracle, board, players, objects, alpha, params,
                                    rng.split(0x2e20), "main/zr");
   } else if (D <= small_cutoff) {
     res.branch = Branch::kSmallRadius;
+    c_small.inc();
     res.outputs = small_radius(oracle, board, players, objects, alpha, D, params,
                                rng.split(0x57a11), players.size())
                       .outputs;
   } else {
     res.branch = Branch::kLargeRadius;
+    c_large.inc();
     res.outputs =
         large_radius(oracle, board, players, objects, alpha, D, params, rng.split(0x1a26e))
             .outputs;
@@ -112,21 +149,31 @@ FindPreferencesResult find_preferences(billboard::ProbeOracle& oracle,
 
   res.rounds = oracle.rounds_since(before);
   res.total_probes = oracle.total_invocations() - probes_before;
+  finalize_report(res, oracle);
+  span.end({{"branch", branch_name(res.branch)},
+            {"rounds", res.rounds},
+            {"probes", res.total_probes}});
   return res;
 }
 
-UnknownDResult find_preferences_unknown_d(billboard::ProbeOracle& oracle,
-                                          billboard::Billboard* board, double alpha,
-                                          const Params& params, rng::Rng rng) {
+RunReport find_preferences_unknown_d(billboard::ProbeOracle& oracle,
+                                     billboard::Billboard* board, double alpha,
+                                     const Params& params, rng::Rng rng) {
   const auto players = all_players(oracle);
   const auto objects = all_objects(oracle);
   const std::size_t m = objects.size();
   const auto before = oracle.snapshot();
   const auto probes_before = oracle.total_invocations();
 
-  UnknownDResult res;
+  obs::Span span(obs::tracer(), "find_preferences_unknown_d", {{"alpha", alpha}});
+
+  RunReport res;
+  res.algo = RunReport::Algo::kUnknownD;
   res.guesses.push_back(0);
   for (std::size_t d = 1; d < m; d *= 2) res.guesses.push_back(d);
+
+  static const auto h_guess_probes = obs::MetricsRegistry::global().histogram(
+      "core.unknown_d.guess_probes", obs::MetricsRegistry::pow2_bounds(32));
 
   // One main-algorithm run per guess. Outputs are posted publicly (via
   // the per-run channels), then each player privately picks the
@@ -135,9 +182,17 @@ UnknownDResult find_preferences_unknown_d(billboard::ProbeOracle& oracle,
   std::vector<std::vector<bits::BitVector>> versions;
   versions.reserve(res.guesses.size());
   for (std::size_t gi = 0; gi < res.guesses.size(); ++gi) {
+    const auto guess_probes_before = oracle.total_invocations();
     versions.push_back(
         find_preferences(oracle, board, alpha, res.guesses[gi], params, rng.split(0xD0, gi))
             .outputs);
+    const auto guess_probes = oracle.total_invocations() - guess_probes_before;
+    h_guess_probes.observe(guess_probes);
+    if (auto* t = obs::tracer()) {
+      t->event("unknown_d.guess", {{"d", res.guesses[gi]},
+                                   {"probes", guess_probes},
+                                   {"cum_rounds", oracle.rounds_since(before)}});
+    }
   }
 
   res.outputs.assign(players.size(), bits::BitVector(m));
@@ -177,17 +232,24 @@ UnknownDResult find_preferences_unknown_d(billboard::ProbeOracle& oracle,
 
   res.rounds = oracle.rounds_since(before);
   res.total_probes = oracle.total_invocations() - probes_before;
+  finalize_report(res, oracle);
+  span.end({{"guesses", res.guesses.size()},
+            {"rounds", res.rounds},
+            {"probes", res.total_probes}});
   return res;
 }
 
-AnytimeResult anytime(billboard::ProbeOracle& oracle, billboard::Billboard* board,
-                      std::uint64_t round_budget, const Params& params, rng::Rng rng) {
+RunReport anytime(billboard::ProbeOracle& oracle, billboard::Billboard* board,
+                  std::uint64_t round_budget, const Params& params, rng::Rng rng) {
   const auto players = all_players(oracle);
   const auto objects = all_objects(oracle);
   const auto before = oracle.snapshot();
   const auto probes_before = oracle.total_invocations();
 
-  AnytimeResult res;
+  obs::Span span(obs::tracer(), "anytime", {{"round_budget", round_budget}});
+
+  RunReport res;
+  res.algo = RunReport::Algo::kAnytime;
   res.outputs.assign(players.size(), bits::BitVector(objects.size()));
 
   bool have_previous = false;
@@ -218,8 +280,20 @@ AnytimeResult anytime(billboard::ProbeOracle& oracle, billboard::Billboard* boar
 
     res.phases.push_back(AnytimePhase{alpha, oracle.rounds_since(before),
                                       oracle.total_invocations() - probes_before});
+    if (auto* t = obs::tracer()) {
+      t->event("anytime.phase", {{"alpha", alpha},
+                                 {"cum_rounds", res.phases.back().rounds},
+                                 {"cum_probes", res.phases.back().total_probes}});
+    }
     if (oracle.rounds_since(before) >= round_budget) break;
   }
+
+  res.rounds = oracle.rounds_since(before);
+  res.total_probes = oracle.total_invocations() - probes_before;
+  finalize_report(res, oracle);
+  span.end({{"phases", res.phases.size()},
+            {"rounds", res.rounds},
+            {"probes", res.total_probes}});
   return res;
 }
 

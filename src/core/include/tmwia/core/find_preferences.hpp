@@ -11,6 +11,10 @@
 //    the unknown-D algorithm with alpha = 2^-j; at any stopping point
 //    the output quality is close to the best achievable for the probes
 //    spent so far ("anytime algorithm", Section 6).
+//
+// All three return a RunReport — one result type for the whole tower
+// (outputs + cost accounting + the variant-specific detail for the
+// algorithm that ran + an optional metrics snapshot).
 #pragma once
 
 #include <cstdint>
@@ -20,6 +24,7 @@
 #include "tmwia/billboard/probe_oracle.hpp"
 #include "tmwia/bits/bitvector.hpp"
 #include "tmwia/core/params.hpp"
+#include "tmwia/obs/metrics.hpp"
 #include "tmwia/rng/rng.hpp"
 
 namespace tmwia::core {
@@ -29,56 +34,66 @@ using matrix::PlayerId;
 /// Which branch of Fig. 1 ran.
 enum class Branch : std::uint8_t { kZeroRadius, kSmallRadius, kLargeRadius };
 
-struct FindPreferencesResult {
-  /// Output vector per player (aligned with `players`, coordinates in
-  /// `objects` order).
+/// One phase of the anytime algorithm (cumulative checkpoints).
+struct AnytimePhase {
+  double alpha = 1.0;
+  std::uint64_t rounds = 0;        ///< cumulative rounds after this phase
+  std::uint64_t total_probes = 0;  ///< cumulative probes after this phase
+};
+
+/// Unified result of every core entry point. The common fields
+/// (outputs, rounds, total_probes) are always filled; the rest depends
+/// on `algo`:
+///  * kFixedD   — `branch` says which Fig. 1 branch ran;
+///  * kUnknownD — `guesses` lists the D guesses that were run and
+///    `chosen_d[i]` the guess player i adopted;
+///  * kAnytime  — `phases` holds the per-phase cost/quality
+///    checkpoints (rounds/total_probes mirror the last entry).
+/// `metrics` is a snapshot of the global MetricsRegistry taken at the
+/// end of the call when the registry is enabled (empty otherwise).
+struct RunReport {
+  enum class Algo : std::uint8_t { kFixedD, kUnknownD, kAnytime };
+
+  Algo algo = Algo::kFixedD;
+  /// Output vector per player (aligned with player ids, coordinates in
+  /// object order).
   std::vector<bits::BitVector> outputs;
-  Branch branch = Branch::kZeroRadius;
   /// Lockstep rounds this call consumed: max over players of probe
   /// invocations during the call.
   std::uint64_t rounds = 0;
   /// Total probe invocations across players during the call.
   std::uint64_t total_probes = 0;
+
+  Branch branch = Branch::kZeroRadius;  ///< kFixedD only
+  std::vector<std::size_t> chosen_d;    ///< kUnknownD: guess adopted per player
+  std::vector<std::size_t> guesses;     ///< kUnknownD: guesses run (0, 1, 2, 4, ...)
+  std::vector<AnytimePhase> phases;     ///< kAnytime: cumulative checkpoints
+
+  obs::Snapshot metrics;  ///< global-registry snapshot when enabled
 };
+
+/// Pre-RunReport result names, kept one release so downstream code
+/// compiles (RunReport is a superset of each).
+using FindPreferencesResult [[deprecated("use core::RunReport")]] = RunReport;
+using UnknownDResult [[deprecated("use core::RunReport")]] = RunReport;
+using AnytimeResult [[deprecated("use core::RunReport")]] = RunReport;
 
 /// Fig. 1: main algorithm for known alpha and D over all players and
 /// all objects of the oracle's matrix.
-FindPreferencesResult find_preferences(billboard::ProbeOracle& oracle,
-                                       billboard::Billboard* board, double alpha,
-                                       std::size_t D, const Params& params, rng::Rng rng);
-
-struct UnknownDResult {
-  std::vector<bits::BitVector> outputs;
-  /// The D guess whose candidate each player adopted.
-  std::vector<std::size_t> chosen_d;
-  std::uint64_t rounds = 0;
-  std::uint64_t total_probes = 0;
-  /// The guesses that were run (0, 1, 2, 4, ...).
-  std::vector<std::size_t> guesses;
-};
+RunReport find_preferences(billboard::ProbeOracle& oracle, billboard::Billboard* board,
+                           double alpha, std::size_t D, const Params& params, rng::Rng rng);
 
 /// Section 6: known alpha, unknown D (the Theorem 1.1 algorithm).
-UnknownDResult find_preferences_unknown_d(billboard::ProbeOracle& oracle,
-                                          billboard::Billboard* board, double alpha,
-                                          const Params& params, rng::Rng rng);
-
-struct AnytimePhase {
-  double alpha = 1.0;
-  std::uint64_t rounds = 0;          ///< cumulative rounds after this phase
-  std::uint64_t total_probes = 0;    ///< cumulative probes after this phase
-};
-
-struct AnytimeResult {
-  std::vector<bits::BitVector> outputs;
-  std::vector<AnytimePhase> phases;
-};
+RunReport find_preferences_unknown_d(billboard::ProbeOracle& oracle,
+                                     billboard::Billboard* board, double alpha,
+                                     const Params& params, rng::Rng rng);
 
 /// Section 6: unknown alpha and D. Runs phases alpha = 1/2, 1/4, ...
 /// until the per-player round budget is exhausted; after each phase,
 /// each player keeps the better of (previous output, new output) via
 /// RSelect. The returned phase log gives quality checkpoints for the
 /// anytime claim (experiment E10).
-AnytimeResult anytime(billboard::ProbeOracle& oracle, billboard::Billboard* board,
-                      std::uint64_t round_budget, const Params& params, rng::Rng rng);
+RunReport anytime(billboard::ProbeOracle& oracle, billboard::Billboard* board,
+                  std::uint64_t round_budget, const Params& params, rng::Rng rng);
 
 }  // namespace tmwia::core

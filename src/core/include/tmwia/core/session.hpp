@@ -1,0 +1,101 @@
+// tmwia::Session — the five-line front door to the library.
+//
+//   tmwia::Session session(inst.matrix);
+//   auto report = session.alpha(0.5).seed(42).run();
+//   // report.outputs[p] estimates player p's hidden preference row.
+//
+// A Session owns the ProbeOracle / Billboard / FaultInjector plumbing
+// that the lower-level API makes the caller wire by hand, plus the
+// observability sinks: `.metrics_sink(path)` writes the final
+// MetricsRegistry snapshot as JSON after each run, `.trace_sink(path)`
+// streams the run's span/event JSONL.
+//
+// Configuration is builder-style and must happen before the first
+// run*() call (the oracle and sinks are built lazily at that point);
+// later configuration calls throw. One Session = one oracle = one
+// probe ledger, so consecutive runs share probe history exactly like
+// consecutive phases of one deployment would.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "tmwia/billboard/billboard.hpp"
+#include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/core/find_preferences.hpp"
+#include "tmwia/core/params.hpp"
+#include "tmwia/faults/fault_injector.hpp"
+#include "tmwia/obs/trace.hpp"
+
+namespace tmwia {
+
+class Session {
+ public:
+  explicit Session(const matrix::PreferenceMatrix& truth);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Assumed community fraction (default 0.5).
+  Session& alpha(double a);
+  /// Algorithm parameters (default core::Params::practical()).
+  Session& params(const core::Params& p);
+  /// Master seed; every run r draws from split(seed, r) (default 1).
+  Session& seed(std::uint64_t s);
+  /// Probe-noise model (default noiseless).
+  Session& noise(billboard::NoiseModel n);
+  /// Fault plan, as a spec string (see faults::FaultPlan::parse) ...
+  Session& faults(std::string_view spec);
+  /// ... or pre-built.
+  Session& faults(const faults::FaultPlan& plan);
+  /// Requested global thread-pool size (0 = hardware concurrency).
+  /// Forwarded to engine::set_global_threads, so it only sticks if no
+  /// parallel phase has run yet anywhere in the process.
+  Session& threads(std::size_t n);
+  /// After every run, write the metrics snapshot (JSON) here. Enables
+  /// the global MetricsRegistry.
+  Session& metrics_sink(std::string path);
+  /// Stream trace JSONL (deterministic logical clock) here.
+  Session& trace_sink(std::string path);
+
+  /// Theorem 1.1: known alpha, unknown D.
+  core::RunReport run();
+  /// Fig. 1: known alpha and D.
+  core::RunReport run(std::size_t D);
+  /// Section 6 anytime algorithm under a per-player round budget.
+  core::RunReport run_anytime(std::uint64_t round_budget);
+
+  /// The underlying pieces, for inspection after a run (building the
+  /// session on first access if needed).
+  billboard::ProbeOracle& oracle();
+  billboard::Billboard& board();
+  [[nodiscard]] const faults::FaultInjector* fault_injector() const;
+
+ private:
+  void build();                    // construct oracle/injector/sinks once
+  void require_unbuilt(const char* setter) const;
+  core::RunReport finish(core::RunReport report);
+
+  const matrix::PreferenceMatrix* truth_;
+  double alpha_ = 0.5;
+  core::Params params_;
+  std::uint64_t seed_ = 1;
+  billboard::NoiseModel noise_;
+  std::optional<faults::FaultPlan> fault_plan_;
+  std::string metrics_path_;
+  std::string trace_path_;
+
+  bool built_ = false;
+  std::uint64_t run_index_ = 0;
+  std::unique_ptr<billboard::ProbeOracle> oracle_;
+  std::unique_ptr<billboard::Billboard> board_;
+  std::unique_ptr<faults::FaultInjector> injector_;
+  struct TraceSink;
+  std::unique_ptr<TraceSink> trace_;
+};
+
+}  // namespace tmwia

@@ -3,12 +3,13 @@
 // Typical use:
 //
 //   tmwia::matrix::Instance inst = tmwia::matrix::planted_community(...);
-//   tmwia::billboard::ProbeOracle oracle(inst.matrix);
-//   tmwia::billboard::Billboard board;
-//   auto result = tmwia::core::find_preferences_unknown_d(
-//       oracle, &board, /*alpha=*/0.25, tmwia::core::Params::practical(),
-//       tmwia::rng::Rng{seed});
-//   // result.outputs[p] estimates player p's hidden preference row.
+//   tmwia::Session session(inst.matrix);
+//   auto report = session.alpha(0.25).seed(seed).run();
+//   // report.outputs[p] estimates player p's hidden preference row.
+//
+// Session wraps the oracle/billboard wiring; the pieces stay public
+// (billboard::ProbeOracle, core::find_preferences_unknown_d, ...) for
+// callers that need manual control.
 #pragma once
 
 #include "tmwia/bits/bitvector.hpp"
@@ -28,9 +29,12 @@
 #include "tmwia/core/params.hpp"
 #include "tmwia/core/rselect.hpp"
 #include "tmwia/core/select.hpp"
+#include "tmwia/core/session.hpp"
 #include "tmwia/core/small_radius.hpp"
 #include "tmwia/core/zero_radius.hpp"
 #include "tmwia/core/zero_radius_strategy.hpp"
 #include "tmwia/matrix/generators.hpp"
 #include "tmwia/matrix/preference_matrix.hpp"
+#include "tmwia/obs/metrics.hpp"
+#include "tmwia/obs/trace.hpp"
 #include "tmwia/rng/rng.hpp"

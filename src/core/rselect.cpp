@@ -3,9 +3,29 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tmwia/obs/metrics.hpp"
 #include "tmwia/rng/partition.hpp"
 
 namespace tmwia::core {
+namespace {
+
+// RSelect runs inside parallel player code, so it reports through
+// sharded counters only (summation commutes; see obs/metrics.hpp).
+struct RSelectMetrics {
+  obs::MetricsRegistry::Counter calls =
+      obs::MetricsRegistry::global().counter("core.rselect.calls");
+  obs::MetricsRegistry::Counter probes =
+      obs::MetricsRegistry::global().counter("core.rselect.probes");
+  obs::MetricsRegistry::Histogram candidates = obs::MetricsRegistry::global().histogram(
+      "core.rselect.candidates", obs::MetricsRegistry::pow2_bounds(20));
+};
+
+const RSelectMetrics& rselect_metrics() {
+  static const RSelectMetrics m;
+  return m;
+}
+
+}  // namespace
 
 RSelectResult rselect_closest(const std::vector<bits::TriVector>& candidates, std::size_t n,
                               const ProbeFn& probe, rng::Rng& rng, const Params& params) {
@@ -13,6 +33,9 @@ RSelectResult rselect_closest(const std::vector<bits::TriVector>& candidates, st
     throw std::invalid_argument("rselect_closest: empty candidate set");
   }
   const std::size_t k = candidates.size();
+  const auto& metrics = rselect_metrics();
+  metrics.calls.inc();
+  metrics.candidates.observe(k);
   RSelectResult res;
   res.losses.assign(k, 0);
   if (k == 1) return res;
@@ -75,6 +98,7 @@ RSelectResult rselect_closest(const std::vector<bits::TriVector>& candidates, st
     }
   }
   res.index = best;
+  metrics.probes.add(res.probes);
   return res;
 }
 

@@ -3,7 +3,28 @@
 #include <limits>
 #include <stdexcept>
 
+#include "tmwia/obs/metrics.hpp"
+
 namespace tmwia::core {
+namespace {
+
+// Select runs inside parallel player code, so it reports through
+// sharded counters only (summation commutes; see obs/metrics.hpp).
+struct SelectMetrics {
+  obs::MetricsRegistry::Counter calls =
+      obs::MetricsRegistry::global().counter("core.select.calls");
+  obs::MetricsRegistry::Counter probes =
+      obs::MetricsRegistry::global().counter("core.select.probes");
+  obs::MetricsRegistry::Histogram candidates = obs::MetricsRegistry::global().histogram(
+      "core.select.candidates", obs::MetricsRegistry::pow2_bounds(20));
+};
+
+const SelectMetrics& select_metrics() {
+  static const SelectMetrics m;
+  return m;
+}
+
+}  // namespace
 
 SelectResult select_closest(const std::vector<bits::TriVector>& candidates, std::size_t D,
                             const ProbeFn& probe) {
@@ -11,6 +32,9 @@ SelectResult select_closest(const std::vector<bits::TriVector>& candidates, std:
     throw std::invalid_argument("select_closest: empty candidate set");
   }
   const std::size_t k = candidates.size();
+  const auto& metrics = select_metrics();
+  metrics.calls.inc();
+  metrics.candidates.observe(k);
   const std::size_t m = candidates[0].size();
   for (const auto& c : candidates) {
     if (c.size() != m) throw std::invalid_argument("select_closest: ragged candidates");
@@ -76,6 +100,7 @@ SelectResult select_closest(const std::vector<bits::TriVector>& candidates, std:
   }
   res.index = best_i;
   res.observed_disagreements = disagreements[best_i];
+  metrics.probes.add(res.probes);
   return res;
 }
 

@@ -1,0 +1,150 @@
+#include "tmwia/core/session.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "tmwia/engine/thread_pool.hpp"
+#include "tmwia/obs/metrics.hpp"
+#include "tmwia/rng/rng.hpp"
+
+namespace tmwia {
+
+/// Owns the trace output stream and the Tracer writing to it, and is
+/// responsible for installing/uninstalling the process-global tracer
+/// pointer (the library's trace points read obs::tracer()).
+struct Session::TraceSink {
+  std::ofstream out;
+  std::unique_ptr<obs::Tracer> tracer;
+
+  explicit TraceSink(const std::string& path) : out(path) {
+    if (!out) throw std::runtime_error("Session: cannot open trace sink '" + path + "'");
+    tracer = std::make_unique<obs::Tracer>(out);
+    obs::set_tracer(tracer.get());
+  }
+  ~TraceSink() {
+    if (obs::tracer() == tracer.get()) obs::set_tracer(nullptr);
+    tracer->flush();
+  }
+};
+
+Session::Session(const matrix::PreferenceMatrix& truth)
+    : truth_(&truth), params_(core::Params::practical()) {}
+
+Session::~Session() = default;
+
+void Session::require_unbuilt(const char* setter) const {
+  if (built_) {
+    throw std::logic_error(std::string("Session::") + setter +
+                           ": configuration is frozen after the first run");
+  }
+}
+
+Session& Session::alpha(double a) {
+  require_unbuilt("alpha");
+  alpha_ = a;
+  return *this;
+}
+
+Session& Session::params(const core::Params& p) {
+  require_unbuilt("params");
+  params_ = p;
+  return *this;
+}
+
+Session& Session::seed(std::uint64_t s) {
+  require_unbuilt("seed");
+  seed_ = s;
+  return *this;
+}
+
+Session& Session::noise(billboard::NoiseModel n) {
+  require_unbuilt("noise");
+  noise_ = n;
+  return *this;
+}
+
+Session& Session::faults(std::string_view spec) {
+  return faults(faults::FaultPlan::parse(spec));
+}
+
+Session& Session::faults(const faults::FaultPlan& plan) {
+  require_unbuilt("faults");
+  fault_plan_ = plan;
+  return *this;
+}
+
+Session& Session::threads(std::size_t n) {
+  require_unbuilt("threads");
+  engine::set_global_threads(n);
+  return *this;
+}
+
+Session& Session::metrics_sink(std::string path) {
+  require_unbuilt("metrics_sink");
+  metrics_path_ = std::move(path);
+  return *this;
+}
+
+Session& Session::trace_sink(std::string path) {
+  require_unbuilt("trace_sink");
+  trace_path_ = std::move(path);
+  return *this;
+}
+
+void Session::build() {
+  if (built_) return;
+  built_ = true;
+  oracle_ = std::make_unique<billboard::ProbeOracle>(*truth_, noise_);
+  board_ = std::make_unique<billboard::Billboard>();
+  if (fault_plan_.has_value()) {
+    injector_ = std::make_unique<faults::FaultInjector>(*fault_plan_, truth_->players());
+    oracle_->set_fault_injector(injector_.get());
+  }
+  if (!metrics_path_.empty()) obs::MetricsRegistry::global().set_enabled(true);
+  if (!trace_path_.empty()) trace_ = std::make_unique<TraceSink>(trace_path_);
+}
+
+core::RunReport Session::finish(core::RunReport report) {
+  if (!metrics_path_.empty()) {
+    std::ofstream out(metrics_path_);
+    if (!out) {
+      throw std::runtime_error("Session: cannot open metrics sink '" + metrics_path_ + "'");
+    }
+    out << report.metrics.to_json() << '\n';
+  }
+  if (trace_ != nullptr) trace_->tracer->flush();
+  ++run_index_;
+  return report;
+}
+
+core::RunReport Session::run() {
+  build();
+  return finish(core::find_preferences_unknown_d(
+      *oracle_, board_.get(), alpha_, params_, rng::Rng(seed_).split(0x5e55, run_index_)));
+}
+
+core::RunReport Session::run(std::size_t D) {
+  build();
+  return finish(core::find_preferences(*oracle_, board_.get(), alpha_, D, params_,
+                                       rng::Rng(seed_).split(0x5e55, run_index_)));
+}
+
+core::RunReport Session::run_anytime(std::uint64_t round_budget) {
+  build();
+  return finish(core::anytime(*oracle_, board_.get(), round_budget, params_,
+                              rng::Rng(seed_).split(0x5e55, run_index_)));
+}
+
+billboard::ProbeOracle& Session::oracle() {
+  build();
+  return *oracle_;
+}
+
+billboard::Billboard& Session::board() {
+  build();
+  return *board_;
+}
+
+const faults::FaultInjector* Session::fault_injector() const { return injector_.get(); }
+
+}  // namespace tmwia

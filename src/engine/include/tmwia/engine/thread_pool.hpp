@@ -42,6 +42,9 @@ class ThreadPool {
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
 
+  /// Has the global pool been constructed yet?
+  static bool global_started();
+
  private:
   void worker_loop();
 
@@ -53,6 +56,13 @@ class ThreadPool {
   std::size_t in_flight_ = 0;
   bool stop_ = false;
 };
+
+/// Request a size for the process-global pool (0 = hardware
+/// concurrency). Takes effect only if the pool has not been
+/// constructed yet — call it before the first parallel_for (e.g. from
+/// a --threads= CLI flag). Returns false (and changes nothing) if the
+/// pool already exists.
+bool set_global_threads(std::size_t threads);
 
 /// Run body(i) for i in [begin, end) across the pool in fixed chunks.
 /// Blocks until complete. Exceptions in body are rethrown (first one

@@ -5,6 +5,12 @@
 #include <exception>
 
 namespace tmwia::engine {
+namespace {
+
+std::atomic<std::size_t> g_desired_threads{0};
+std::atomic<bool> g_global_started{false};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -40,8 +46,19 @@ void ThreadPool::wait_idle() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(g_desired_threads.load(std::memory_order_relaxed));
+  g_global_started.store(true, std::memory_order_release);
   return pool;
+}
+
+bool ThreadPool::global_started() {
+  return g_global_started.load(std::memory_order_acquire);
+}
+
+bool set_global_threads(std::size_t threads) {
+  if (ThreadPool::global_started()) return false;
+  g_desired_threads.store(threads, std::memory_order_relaxed);
+  return true;
 }
 
 void ThreadPool::worker_loop() {

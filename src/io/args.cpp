@@ -1,5 +1,6 @@
 #include "tmwia/io/args.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace tmwia::io {
@@ -45,6 +46,91 @@ std::uint64_t Args::get_seed(const std::string& name, std::uint64_t def) const {
 bool Args::get_flag(const std::string& name) const {
   const auto v = get(name);
   return v && (*v == "true" || *v == "1");
+}
+
+std::vector<std::string> Args::keys() const {
+  std::vector<std::string> out;
+  out.reserve(kv_.size());
+  for (const auto& [k, v] : kv_) out.push_back(k);
+  return out;
+}
+
+namespace {
+
+/// Does the comma-separated `commands` list contain `command`?
+bool applies_to(std::string_view commands, std::string_view command) {
+  if (commands.empty() || command.empty()) return true;
+  std::size_t pos = 0;
+  while (pos <= commands.size()) {
+    const auto comma = commands.find(',', pos);
+    const auto token = commands.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos : comma - pos);
+    if (token == command) return true;
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+FlagTable::FlagTable(std::string_view usage_head, std::initializer_list<FlagSpec> flags)
+    : usage_head_(usage_head), flags_(flags) {}
+
+std::string FlagTable::help(std::string_view command) const {
+  std::string out(usage_head_);
+  if (!out.empty() && out.back() != '\n') out.push_back('\n');
+
+  std::size_t width = 0;
+  auto rendered = [](const FlagSpec& f) {
+    std::string s = "--";
+    s += f.name;
+    if (!f.value_hint.empty()) {
+      s += "=";
+      s += f.value_hint;
+    }
+    return s;
+  };
+  for (const auto& f : flags_) {
+    if (!applies_to(f.commands, command)) continue;
+    width = std::max(width, rendered(f).size());
+  }
+  for (const auto& f : flags_) {
+    if (!applies_to(f.commands, command)) continue;
+    std::string row = "  " + rendered(f);
+    row.append(width + 2 - (row.size() - 2), ' ');
+    row += f.help;
+    if (command.empty() && !f.commands.empty()) {
+      row += "  [";
+      row += f.commands;
+      row += "]";
+    }
+    row.push_back('\n');
+    out += row;
+  }
+  return out;
+}
+
+bool FlagTable::knows(std::string_view name, std::string_view command) const {
+  for (const auto& f : flags_) {
+    if (f.name == name && applies_to(f.commands, command)) return true;
+  }
+  return false;
+}
+
+void FlagTable::validate(const Args& args, std::string_view command) const {
+  for (const auto& key : args.keys()) {
+    if (!knows(key, command)) {
+      std::string msg = "unknown flag --" + key;
+      if (!command.empty()) {
+        msg += " for '";
+        msg += command;
+        msg += "'";
+      }
+      msg += " (see --help)";
+      throw std::invalid_argument(msg);
+    }
+  }
 }
 
 }  // namespace tmwia::io

@@ -1,0 +1,109 @@
+// Tracer: phase/round-scoped spans and point events emitted as JSONL.
+//
+// Every record carries a *logical clock* value `t` — a per-tracer
+// monotone counter incremented once per record — instead of wall time,
+// so a trace taken with the same seed and fault plan is byte-identical
+// run-to-run and across `--threads` settings. Wall time can be opted
+// into (`wall_time=true`) for profiling; it adds a `wall_us` field and
+// forfeits byte-stability, which is why it is off by default and the
+// determinism tests never enable it.
+//
+// Emission is mutex-serialized (one lock per record). Traces are meant
+// for *serial control-flow points* — phase boundaries, round starts,
+// guess outcomes — not per-probe hot paths; instrumented call sites in
+// parallel player code must use MetricsRegistry counters instead, both
+// for overhead and because interleaved span order would be
+// nondeterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <variant>
+
+namespace tmwia::obs {
+
+/// One key/value attribute on a trace record. Integer types funnel
+/// through a single constrained template constructor so brace-lists
+/// like {"n", n} never hit int/uint32_t/size_t overload ambiguity.
+struct Attr {
+  std::string_view key;
+  std::variant<std::int64_t, std::uint64_t, double, std::string_view> value;
+
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  Attr(std::string_view k, T v)
+      : key(k), value(std::is_signed_v<T>
+                          ? decltype(value){static_cast<std::int64_t>(v)}
+                          : decltype(value){static_cast<std::uint64_t>(v)}) {}
+  Attr(std::string_view k, double v) : key(k), value(v) {}
+  Attr(std::string_view k, const char* v) : key(k), value(std::string_view(v)) {}
+  Attr(std::string_view k, std::string_view v) : key(k), value(v) {}
+};
+
+using AttrList = std::initializer_list<Attr>;
+
+class Tracer {
+ public:
+  /// Writes JSONL records to `out`. The stream must outlive the
+  /// tracer. `wall_time=true` adds a wall_us field to every record
+  /// (and breaks byte-determinism — keep it off for compared traces).
+  explicit Tracer(std::ostream& out, bool wall_time = false);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Open a span; returns its id (>0) for end_span.
+  std::uint64_t begin_span(std::string_view name, AttrList attrs = {});
+  void end_span(std::uint64_t span_id, AttrList attrs = {});
+
+  /// A point event (no duration).
+  void event(std::string_view name, AttrList attrs = {});
+
+  void flush();
+
+ private:
+  void emit(std::string_view kind, std::uint64_t span_id, std::string_view name,
+            AttrList attrs);
+
+  std::ostream& out_;
+  bool wall_time_;
+  std::mutex mu_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t next_span_ = 1;
+};
+
+/// RAII span over an optional tracer: a null tracer makes every
+/// operation a no-op, so library code can trace unconditionally.
+class Span {
+ public:
+  Span(Tracer* tracer, std::string_view name, AttrList attrs = {})
+      : tracer_(tracer), id_(tracer ? tracer->begin_span(name, attrs) : 0) {}
+  ~Span() { end(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Close early, optionally attaching result attributes.
+  void end(AttrList attrs = {}) {
+    if (tracer_ != nullptr) tracer_->end_span(id_, attrs);
+    tracer_ = nullptr;
+  }
+
+ private:
+  Tracer* tracer_;
+  std::uint64_t id_;
+};
+
+/// Process-global tracer used by the library's built-in trace points.
+/// Null (tracing off) until a sink installs one. The caller keeps
+/// ownership and must clear it (set_tracer(nullptr)) before the tracer
+/// dies.
+Tracer* tracer();
+void set_tracer(Tracer* t);
+
+}  // namespace tmwia::obs

@@ -1,0 +1,288 @@
+#include "tmwia/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tmwia::obs {
+namespace {
+
+/// Registries get process-unique ids so the thread-local shard cache
+/// can never confuse a new registry allocated at a recycled address.
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+struct TlsShardCache {
+  std::uint64_t registry_id = 0;
+  void* shard = nullptr;
+};
+thread_local TlsShardCache t_shard_cache;
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_u64(std::string& out, std::uint64_t v) { out += std::to_string(v); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shard
+
+MetricsRegistry::Shard::~Shard() {
+  for (auto& c : chunks) delete c.load(std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Shard::add(std::size_t slot, std::uint64_t v) {
+  Chunk* c = chunks[slot >> kChunkBits].load(std::memory_order_acquire);
+  if (c == nullptr) c = grow(slot >> kChunkBits);
+  auto& s = c->slots[slot & (kChunkSlots - 1)];
+  // Owner-thread-only writes: a plain load+store (no RMW) is enough
+  // and compiles to two movs.
+  s.store(s.load(std::memory_order_relaxed) + v, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Chunk* MetricsRegistry::Shard::grow(std::size_t chunk_index) {
+  auto* fresh = new Chunk();
+  Chunk* expected = nullptr;
+  if (!chunks[chunk_index].compare_exchange_strong(expected, fresh, std::memory_order_acq_rel)) {
+    delete fresh;  // lost the (theoretical) race; owner-only writes make this unreachable
+    return expected;
+  }
+  return fresh;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry::MetricsRegistry(bool enabled)
+    : enabled_(enabled), id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  if (t_shard_cache.registry_id == id_ && t_shard_cache.shard != nullptr) {
+    return *static_cast<Shard*>(t_shard_cache.shard);
+  }
+  Shard& s = attach_thread();
+  t_shard_cache = {id_, &s};
+  return s;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::attach_thread() {
+  std::lock_guard<std::mutex> lk(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  return *shards_.back();
+}
+
+MetricsRegistry::Counter MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    if (next_slot_ >= kMaxChunks * kChunkSlots) {
+      throw std::length_error("MetricsRegistry: slot space exhausted");
+    }
+    MetricInfo info{Kind::kCounter, next_slot_, 1, nullptr};
+    ++next_slot_;
+    it = names_.emplace(std::string(name), std::move(info)).first;
+  } else if (it->second.kind != Kind::kCounter) {
+    throw std::invalid_argument("MetricsRegistry: '" + std::string(name) +
+                                "' is not a counter");
+  }
+  return Counter(this, it->second.slot);
+}
+
+MetricsRegistry::Histogram MetricsRegistry::histogram(std::string_view name,
+                                                      std::vector<std::uint64_t> bounds) {
+  if (bounds.empty() || !std::is_sorted(bounds.begin(), bounds.end()) ||
+      std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end()) {
+    throw std::invalid_argument(
+        "MetricsRegistry: histogram bounds must be non-empty and strictly increasing");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    const auto slot_count = static_cast<std::uint32_t>(bounds.size() + 2);
+    if (next_slot_ + slot_count > kMaxChunks * kChunkSlots) {
+      throw std::length_error("MetricsRegistry: slot space exhausted");
+    }
+    MetricInfo info{Kind::kHistogram, next_slot_, slot_count,
+                    std::make_unique<std::vector<std::uint64_t>>(std::move(bounds))};
+    next_slot_ += slot_count;
+    it = names_.emplace(std::string(name), std::move(info)).first;
+  } else {
+    if (it->second.kind != Kind::kHistogram) {
+      throw std::invalid_argument("MetricsRegistry: '" + std::string(name) +
+                                  "' is not a histogram");
+    }
+    if (*it->second.bounds != bounds) {
+      throw std::invalid_argument("MetricsRegistry: histogram '" + std::string(name) +
+                                  "' re-registered with different bounds");
+    }
+  }
+  return Histogram(this, it->second.slot, it->second.bounds.get());
+}
+
+std::vector<std::uint64_t> MetricsRegistry::pow2_bounds(std::size_t k) {
+  std::vector<std::uint64_t> b;
+  b.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) b.push_back(std::uint64_t{1} << i);
+  return b;
+}
+
+void MetricsRegistry::Histogram::observe(std::uint64_t v) const {
+  if (reg_ == nullptr || !reg_->enabled()) return;
+  const auto& bounds = *bounds_;
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds.begin());
+  auto& shard = reg_->local_shard();
+  shard.add(base_ + bucket, 1);
+  shard.add(base_ + bounds.size() + 1, v);  // running sum slot
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, std::int64_t value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<std::atomic<std::int64_t>>(0))
+             .first;
+  }
+  it->second->store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::add_gauge(std::string_view name, std::int64_t delta) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<std::atomic<std::int64_t>>(0))
+             .first;
+  }
+  it->second->fetch_add(delta, std::memory_order_relaxed);
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot snap;
+  auto slot_total = [&](std::uint32_t slot) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      const Chunk* c = shard->chunks[slot >> kChunkBits].load(std::memory_order_acquire);
+      if (c != nullptr) total += c->slots[slot & (kChunkSlots - 1)].load(std::memory_order_relaxed);
+    }
+    return total;
+  };
+  for (const auto& [name, info] : names_) {
+    if (info.kind == Kind::kCounter) {
+      snap.counters.emplace(name, slot_total(info.slot));
+    } else {
+      HistogramData h;
+      h.bounds = *info.bounds;
+      h.buckets.resize(info.bounds->size() + 1);
+      for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+        h.buckets[b] = slot_total(info.slot + static_cast<std::uint32_t>(b));
+      }
+      h.sum = slot_total(info.slot + static_cast<std::uint32_t>(info.bounds->size()) + 1);
+      for (auto c : h.buckets) h.count += c;
+      snap.histograms.emplace(name, std::move(h));
+    }
+  }
+  for (const auto& [name, cell] : gauges_) {
+    snap.gauges.emplace(name, cell->load(std::memory_order_relaxed));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& shard : shards_) {
+    for (auto& cp : shard->chunks) {
+      Chunk* c = cp.load(std::memory_order_acquire);
+      if (c == nullptr) continue;
+      for (auto& s : c->slots) s.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (const auto& [name, cell] : gauges_) cell->store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry reg(/*enabled=*/false);
+  return reg;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+
+std::uint64_t Snapshot::counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::int64_t Snapshot::gauge(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0 : it->second;
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    append_u64(out, v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    out += std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      append_u64(out, h.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      append_u64(out, h.buckets[i]);
+    }
+    out += "],\"sum\":";
+    append_u64(out, h.sum);
+    out += ",\"count\":";
+    append_u64(out, h.count);
+    out.push_back('}');
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace tmwia::obs

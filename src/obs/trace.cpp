@@ -1,0 +1,119 @@
+#include "tmwia/obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace tmwia::obs {
+namespace {
+
+std::atomic<Tracer*> g_tracer{nullptr};
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_attr_value(std::string& out, const Attr& a) {
+  if (const auto* i = std::get_if<std::int64_t>(&a.value)) {
+    out += std::to_string(*i);
+  } else if (const auto* u = std::get_if<std::uint64_t>(&a.value)) {
+    out += std::to_string(*u);
+  } else if (const auto* d = std::get_if<double>(&a.value)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", *d);
+    out += buf;
+  } else {
+    append_json_string(out, std::get<std::string_view>(a.value));
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer(std::ostream& out, bool wall_time) : out_(out), wall_time_(wall_time) {}
+
+std::uint64_t Tracer::begin_span(std::string_view name, AttrList attrs) {
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    id = next_span_++;
+  }
+  emit("begin", id, name, attrs);
+  return id;
+}
+
+void Tracer::end_span(std::uint64_t span_id, AttrList attrs) {
+  emit("end", span_id, {}, attrs);
+}
+
+void Tracer::event(std::string_view name, AttrList attrs) {
+  emit("event", 0, name, attrs);
+}
+
+void Tracer::flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  out_.flush();
+}
+
+void Tracer::emit(std::string_view kind, std::uint64_t span_id, std::string_view name,
+                  AttrList attrs) {
+  std::string line;
+  line.reserve(96);
+  std::lock_guard<std::mutex> lk(mu_);
+  line += "{\"t\":";
+  line += std::to_string(clock_++);
+  line += ",\"kind\":\"";
+  line += kind;
+  line.push_back('"');
+  if (span_id != 0) {
+    line += ",\"span\":";
+    line += std::to_string(span_id);
+  }
+  if (!name.empty()) {
+    line += ",\"name\":";
+    append_json_string(line, name);
+  }
+  if (wall_time_) {
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now().time_since_epoch())
+                        .count();
+    line += ",\"wall_us\":";
+    line += std::to_string(us);
+  }
+  if (attrs.size() != 0) {
+    line += ",\"attrs\":{";
+    bool first = true;
+    for (const Attr& a : attrs) {
+      if (!first) line.push_back(',');
+      first = false;
+      append_json_string(line, a.key);
+      line.push_back(':');
+      append_attr_value(line, a);
+    }
+    line.push_back('}');
+  }
+  line += "}\n";
+  out_ << line;
+}
+
+Tracer* tracer() { return g_tracer.load(std::memory_order_acquire); }
+
+void set_tracer(Tracer* t) { g_tracer.store(t, std::memory_order_release); }
+
+}  // namespace tmwia::obs

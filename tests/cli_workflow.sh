@@ -38,6 +38,34 @@ grep -q "overall mean error: 0 /" "$DIR/solo_eval.txt"
 grep -q "fault report:" "$DIR/faulty_run.txt"
 grep -q "probe_failures:" "$DIR/faulty_run.txt"
 
+# Observability: --metrics/--trace emit machine-readable artifacts, and
+# a fixed seed gives byte-identical artifacts across --threads.
+"$CLI" run --in="$DIR/world.tmw" --algo=unknown_d --alpha=0.5 --seed=9 \
+       --threads=1 --metrics="$DIR/m1.json" --trace="$DIR/t1.jsonl" \
+       --out="$DIR/obs1.txt" >/dev/null
+"$CLI" run --in="$DIR/world.tmw" --algo=unknown_d --alpha=0.5 --seed=9 \
+       --threads=4 --metrics="$DIR/m4.json" --trace="$DIR/t4.jsonl" \
+       --out="$DIR/obs4.txt" >/dev/null
+cmp "$DIR/m1.json" "$DIR/m4.json"
+cmp "$DIR/t1.jsonl" "$DIR/t4.jsonl"
+cmp "$DIR/obs1.txt" "$DIR/obs4.txt"
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.counters and .gauges and .histograms' "$DIR/m1.json" >/dev/null
+  jq -es 'length > 0' "$DIR/t1.jsonl" >/dev/null
+fi
+grep -q '"t":0' "$DIR/t1.jsonl"
+
+# Generated --help comes from the flag table; unknown flags are rejected.
+"$CLI" --help >"$DIR/help.txt"
+grep -q -- "--metrics=FILE" "$DIR/help.txt"
+grep -q -- "--faults=SPEC" "$DIR/help.txt"
+if "$CLI" run --in="$DIR/world.tmw" --algo=solo --bogus=1 \
+     --out=/dev/null 2>"$DIR/badflag.txt"; then
+  echo "expected failure for unknown flag" >&2
+  exit 1
+fi
+grep -q "unknown flag --bogus" "$DIR/badflag.txt"
+
 # Bad inputs fail cleanly.
 if "$CLI" run --in="$DIR/world.tmw" --algo=nonsense --out=/dev/null 2>/dev/null; then
   echo "expected failure for unknown algo" >&2

@@ -1,0 +1,245 @@
+// Tests for the observability layer (src/obs): counter/gauge/histogram
+// correctness, the per-thread shard merge (same totals and identical
+// snapshot bytes regardless of writer-thread count), trace JSONL shape,
+// and end-to-end byte-determinism of metrics + traces for a fixed seed
+// and fault plan.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/core/find_preferences.hpp"
+#include "tmwia/core/params.hpp"
+#include "tmwia/faults/fault_injector.hpp"
+#include "tmwia/matrix/generators.hpp"
+#include "tmwia/obs/metrics.hpp"
+#include "tmwia/obs/trace.hpp"
+
+namespace {
+
+using namespace tmwia;
+
+TEST(Metrics, CounterBasics) {
+  obs::MetricsRegistry reg;
+  auto c = reg.counter("a.calls");
+  c.inc();
+  c.add(41);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("a.calls"), 42u);
+  EXPECT_EQ(snap.counter("never.touched"), 0u);
+}
+
+TEST(Metrics, DisabledRegistryDropsWrites) {
+  obs::MetricsRegistry reg(/*enabled=*/false);
+  auto c = reg.counter("a");
+  c.add(7);
+  EXPECT_EQ(reg.snapshot().counter("a"), 0u);
+  reg.set_enabled(true);
+  c.add(7);
+  EXPECT_EQ(reg.snapshot().counter("a"), 7u);
+}
+
+TEST(Metrics, DefaultHandleIsNoOp) {
+  obs::MetricsRegistry::Counter c;
+  c.inc();  // must not crash
+  obs::MetricsRegistry::Histogram h;
+  h.observe(3);
+}
+
+TEST(Metrics, RegistrationIsIdempotentAndKindChecked) {
+  obs::MetricsRegistry reg;
+  auto c1 = reg.counter("x");
+  auto c2 = reg.counter("x");
+  c1.inc();
+  c2.inc();
+  EXPECT_EQ(reg.snapshot().counter("x"), 2u);
+  EXPECT_THROW((void)reg.histogram("x", obs::MetricsRegistry::pow2_bounds(4)),
+               std::invalid_argument);
+  (void)reg.histogram("h", {1, 2, 4});
+  EXPECT_THROW((void)reg.histogram("h", {1, 2, 8}), std::invalid_argument);
+  EXPECT_THROW((void)reg.counter("h"), std::invalid_argument);
+}
+
+TEST(Metrics, HistogramBucketsInclusiveUpperEdges) {
+  obs::MetricsRegistry reg;
+  auto h = reg.histogram("lat", {1, 2, 4});
+  for (std::uint64_t v : {0u, 1u, 2u, 3u, 4u, 5u, 100u}) h.observe(v);
+  const auto snap = reg.snapshot();
+  const auto& hd = snap.histograms.at("lat");
+  ASSERT_EQ(hd.bounds, (std::vector<std::uint64_t>{1, 2, 4}));
+  // buckets: <=1 -> {0,1}; <=2 -> {2}; <=4 -> {3,4}; overflow -> {5,100}
+  EXPECT_EQ(hd.buckets, (std::vector<std::uint64_t>{2, 1, 2, 2}));
+  EXPECT_EQ(hd.count, 7u);
+  EXPECT_EQ(hd.sum, 0u + 1 + 2 + 3 + 4 + 5 + 100);
+}
+
+TEST(Metrics, Pow2Bounds) {
+  const auto b = obs::MetricsRegistry::pow2_bounds(4);
+  EXPECT_EQ(b, (std::vector<std::uint64_t>{1, 2, 4, 8}));
+}
+
+TEST(Metrics, Gauges) {
+  obs::MetricsRegistry reg;
+  reg.set_gauge("g", -5);
+  reg.add_gauge("g", 8);
+  reg.add_gauge("other", 2);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.gauge("g"), 3);
+  EXPECT_EQ(snap.gauge("other"), 2);
+  EXPECT_EQ(snap.gauge("absent"), 0);
+}
+
+TEST(Metrics, ResetZeroesKeepsHandles) {
+  obs::MetricsRegistry reg;
+  auto c = reg.counter("c");
+  auto h = reg.histogram("h", {1, 2});
+  c.add(3);
+  h.observe(1);
+  reg.set_gauge("g", 9);
+  reg.reset();
+  auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("c"), 0u);
+  EXPECT_EQ(snap.histograms.at("h").count, 0u);
+  EXPECT_EQ(snap.gauge("g"), 0);
+  c.inc();
+  h.observe(2);
+  snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("c"), 1u);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+}
+
+/// The same logical workload spread over 1, 2, 4 and 8 writer threads
+/// must merge to identical snapshots — byte-identical to_json().
+TEST(Metrics, ShardMergeIsThreadCountInvariant) {
+  constexpr std::uint64_t kTotalAdds = 9600;  // divisible by 1,2,4,8
+  std::vector<std::string> jsons;
+  std::vector<obs::Snapshot> snaps;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    obs::MetricsRegistry reg;
+    auto c = reg.counter("work.items");
+    auto h = reg.histogram("work.size", obs::MetricsRegistry::pow2_bounds(8));
+    const std::uint64_t per_thread = kTotalAdds / threads;
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (std::uint64_t i = 0; i < per_thread; ++i) {
+          c.inc();
+          // Observation values depend only on the global item index,
+          // not on which thread handles it.
+          h.observe((t * per_thread + i) % 300);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    reg.set_gauge("work.done", 1);
+    snaps.push_back(reg.snapshot());
+    jsons.push_back(snaps.back().to_json());
+  }
+  for (std::size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_EQ(snaps[i], snaps[0]);
+    EXPECT_EQ(jsons[i], jsons[0]) << "thread-count " << i;
+  }
+  EXPECT_EQ(snaps[0].counter("work.items"), kTotalAdds);
+  EXPECT_EQ(snaps[0].histograms.at("work.size").count, kTotalAdds);
+}
+
+TEST(Metrics, SnapshotJsonShape) {
+  obs::MetricsRegistry reg;
+  reg.counter("b").inc();
+  reg.set_gauge("a", -1);
+  reg.histogram("h", {2, 4}).observe(3);
+  EXPECT_EQ(reg.snapshot().to_json(),
+            "{\"counters\":{\"b\":1},\"gauges\":{\"a\":-1},"
+            "\"histograms\":{\"h\":{\"bounds\":[2,4],\"buckets\":[0,1,0],"
+            "\"sum\":3,\"count\":1}}}");
+}
+
+TEST(Trace, JsonlShapeAndLogicalClock) {
+  std::ostringstream out;
+  obs::Tracer tracer(out);
+  const auto span = tracer.begin_span("phase", {{"n", 64}, {"alpha", 0.5}});
+  tracer.event("tick", {{"round", 1}});
+  tracer.end_span(span, {{"ok", "yes"}});
+  tracer.flush();
+  EXPECT_EQ(out.str(),
+            "{\"t\":0,\"kind\":\"begin\",\"span\":1,\"name\":\"phase\","
+            "\"attrs\":{\"n\":64,\"alpha\":0.5}}\n"
+            "{\"t\":1,\"kind\":\"event\",\"name\":\"tick\",\"attrs\":{\"round\":1}}\n"
+            "{\"t\":2,\"kind\":\"end\",\"span\":1,\"attrs\":{\"ok\":\"yes\"}}\n");
+}
+
+TEST(Trace, NullTracerSpanIsNoOp) {
+  obs::Span span(nullptr, "nothing", {{"k", 1}});
+  span.end({{"r", 2}});  // must not crash
+  EXPECT_EQ(obs::tracer(), nullptr);
+}
+
+TEST(Trace, RaiiSpanClosesOnScopeExit) {
+  std::ostringstream out;
+  obs::Tracer tracer(out);
+  {
+    obs::Span span(&tracer, "s");
+  }
+  tracer.flush();
+  const auto text = out.str();
+  EXPECT_NE(text.find("\"kind\":\"begin\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"end\""), std::string::npos);
+}
+
+/// End-to-end determinism: the same seed and fault plan must produce
+/// byte-identical metrics snapshots and trace JSONL, run to run.
+TEST(Obs, MetricsAndTraceDeterministicUnderFaults) {
+  rng::Rng gen(17);
+  const auto inst = matrix::planted_community(64, 64, {0.5, 1}, gen);
+  const auto plan = faults::FaultPlan::parse("seed=3,probe=0.05,retry=3");
+
+  auto& reg = obs::MetricsRegistry::global();
+  const bool was_enabled = reg.enabled();
+  auto run_once = [&](std::string* trace_text) {
+    std::ostringstream trace_out;
+    obs::Tracer tracer(trace_out);
+    obs::set_tracer(&tracer);
+    reg.set_enabled(true);
+    reg.reset();
+    billboard::ProbeOracle oracle(inst.matrix);
+    faults::FaultInjector injector(plan, inst.matrix.players());
+    oracle.set_fault_injector(&injector);
+    const auto res = core::find_preferences_unknown_d(
+        oracle, nullptr, 0.5, core::Params::practical(), rng::Rng(5));
+    obs::set_tracer(nullptr);
+    tracer.flush();
+    *trace_text = trace_out.str();
+    return res.metrics.to_json();
+  };
+
+  std::string trace1;
+  std::string trace2;
+  const auto metrics1 = run_once(&trace1);
+  const auto metrics2 = run_once(&trace2);
+  reg.reset();
+  reg.set_enabled(was_enabled);
+
+  EXPECT_EQ(metrics1, metrics2);
+  EXPECT_EQ(trace1, trace2);
+  EXPECT_FALSE(trace1.empty());
+  // Every trace line is a JSON object with a leading logical clock.
+  std::istringstream lines(trace1);
+  std::string line;
+  std::uint64_t expect_t = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(line.rfind("{\"t\":" + std::to_string(expect_t) + ",", 0), 0u)
+        << line;
+    ++expect_t;
+  }
+  EXPECT_GT(expect_t, 0u);
+  // The instrumented fault paths actually fired under this plan.
+  EXPECT_NE(metrics1.find("\"counters\""), std::string::npos);
+}
+
+}  // namespace

@@ -1,22 +1,34 @@
 #!/usr/bin/env bash
-# Build and run the test suite twice: once plain, once under
-# ASan+UBSan (-DTMWIA_SANITIZE=ON). Usage:
+# Build and run the test suite under several configurations:
 #
-#   tools/run_tests.sh [--plain-only|--sanitize-only] [-j N]
+#   plain      full suite, default flags            (build/)
+#   asan       full suite, ASan+UBSan               (build-asan/)
+#   tsan       obs/engine/scheduler suites under ThreadSanitizer —
+#              exercises the sharded MetricsRegistry and the thread
+#              pool for data races                  (build-tsan/)
+#   bench-json opt-in: run every e* bench binary and jq-check that each
+#              writes parseable BENCH_<name>.json
 #
-# Build trees go to build/ (plain) and build-asan/ (sanitized) under the
-# repo root; both runs must pass for the script to exit 0.
+# Usage:
+#   tools/run_tests.sh [--plain-only|--sanitize-only|--tsan-only]
+#                      [--bench-json] [-j N]
+#
+# Default runs plain + asan + tsan; all requested stages must pass.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 RUN_PLAIN=1
 RUN_SAN=1
+RUN_TSAN=1
+RUN_BENCH_JSON=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
-    --plain-only) RUN_SAN=0 ;;
-    --sanitize-only) RUN_PLAIN=0 ;;
+    --plain-only) RUN_SAN=0; RUN_TSAN=0 ;;
+    --sanitize-only) RUN_PLAIN=0; RUN_TSAN=0 ;;
+    --tsan-only) RUN_PLAIN=0; RUN_SAN=0 ;;
+    --bench-json) RUN_BENCH_JSON=1 ;;
     -j) JOBS="$2"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
@@ -40,6 +52,35 @@ if [[ $RUN_SAN -eq 1 ]]; then
   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
   run_suite "$ROOT/build-asan" -DTMWIA_SANITIZE=ON
+fi
+
+if [[ $RUN_TSAN -eq 1 ]]; then
+  echo "== TSan (obs + engine + scheduler) =="
+  cmake -B "$ROOT/build-tsan" -S "$ROOT" -DTMWIA_TSAN=ON
+  cmake --build "$ROOT/build-tsan" -j "$JOBS" \
+    --target test_obs test_engine test_round_scheduler
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
+    -R '(Metrics|Trace|Obs|Engine|ThreadPool|Parallel|RoundScheduler|Scheduler)'
+fi
+
+if [[ $RUN_BENCH_JSON -eq 1 ]]; then
+  echo "== bench JSON =="
+  command -v jq >/dev/null || { echo "jq required for --bench-json" >&2; exit 2; }
+  cmake --build "$ROOT/build" -j "$JOBS"
+  BENCH_DIR="$(mktemp -d)"
+  trap 'rm -rf "$BENCH_DIR"' EXIT
+  for b in "$ROOT"/build/bench/e*; do
+    [[ -x "$b" ]] || continue
+    name="$(basename "$b")"
+    echo "-- $name"
+    # Benches are experiments: a FAIL verdict is reported, not fatal
+    # here — this stage checks the reporting contract, not the science.
+    (cd "$BENCH_DIR" && "$b" > "$name.log" 2>&1) || true
+    jq -e '.bench and (.ok | type == "boolean") and (.wall_ms | type == "number")' \
+      "$BENCH_DIR/BENCH_$name.json" >/dev/null \
+      || { echo "invalid or missing BENCH_$name.json" >&2; exit 1; }
+  done
 fi
 
 echo "all requested suites passed"

@@ -12,6 +12,11 @@
 // writes per-player estimates, `eval` scores estimates against the
 // hidden truth, `info` prints the instance's shape and community
 // structure. Every subcommand is deterministic given --seed.
+//
+// Observability: `run` takes --metrics=FILE (final MetricsRegistry
+// snapshot as one-line JSON), --trace=FILE (span/event JSONL on a
+// deterministic logical clock) and --threads=N (global pool size; the
+// artifacts are byte-identical for any N under the same seed).
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -19,6 +24,7 @@
 
 #include "tmwia/baselines/baselines.hpp"
 #include "tmwia/core/tmwia.hpp"
+#include "tmwia/engine/thread_pool.hpp"
 #include "tmwia/io/args.hpp"
 #include "tmwia/io/serialize.hpp"
 #include "tmwia/io/table.hpp"
@@ -27,18 +33,43 @@ using namespace tmwia;
 
 namespace {
 
+// The single source of truth for every flag tmwia_cli accepts: --help
+// is rendered from this table and unknown flags are rejected against
+// it, per subcommand.
+const io::FlagTable& flag_table() {
+  static const io::FlagTable table(
+      "usage: tmwia_cli <gen|info|run|eval> [--key=value ...]  (or: tmwia_cli --help)",
+      {
+          {"kind", "K", "instance family: planted|multi|adversarial|markov|lowrank|uniform",
+           "gen"},
+          {"n", "N", "players (default 256)", "gen"},
+          {"m", "M", "objects (default 256)", "gen"},
+          {"alpha", "A", "community fraction (default 0.5)", "gen,run"},
+          {"radius", "R", "community radius (default 0)", "gen"},
+          {"types", "K", "taste types for adversarial/markov/lowrank (default 4)", "gen"},
+          {"noise", "F", "per-entry noise rate for generated instances (default 0.1)",
+           "gen"},
+          {"seed", "S", "deterministic seed (default 1)", "gen,run"},
+          {"out", "FILE", "output file (instance or estimates)", "gen,run"},
+          {"in", "FILE", "instance file", "info,run,eval"},
+          {"algo", "NAME", "zero|small|large|unknown_d|anytime|solo|knn|svd", "run"},
+          {"d", "D", "distance bound for --algo=small|large (default 8)", "run"},
+          {"profile", "P", "parameter profile: practical|paper (default practical)", "run"},
+          {"budget", "B", "round budget (anytime) / probes per player (knn)", "run"},
+          {"rate", "F", "sample rate for --algo=svd (default 0.25)", "run"},
+          {"rank", "K", "rank for --algo=svd (default 4)", "run"},
+          {"faults", "SPEC", "fault plan, e.g. seed=S,crash=R@A-B,probe=R,drop=R", "run"},
+          {"metrics", "FILE", "write final metrics snapshot JSON here", "run"},
+          {"trace", "FILE", "write span/event trace JSONL here", "run"},
+          {"threads", "N", "global thread-pool size (0 = hardware)", "run"},
+          {"outputs", "FILE", "estimates file to score", "eval"},
+          {"help", "", "show this help"},
+      });
+  return table;
+}
+
 int usage() {
-  std::cerr <<
-      "usage: tmwia_cli <gen|info|run|eval> [--key=value ...]\n"
-      "  gen   --kind=planted|multi|adversarial|markov|lowrank|uniform\n"
-      "        --n=N --m=M [--alpha=A --radius=R --types=K --noise=F]\n"
-      "        --seed=S --out=FILE\n"
-      "  info  --in=FILE\n"
-      "  run   --in=FILE --algo=zero|small|large|unknown_d|anytime|solo|knn|svd\n"
-      "        [--alpha=A --d=D --profile=practical|paper --budget=B]\n"
-      "        [--faults=seed=S,crash=R@A-B,recover=K,probe=R,retry=N,drop=R,delay=R@K]\n"
-      "        --seed=S --out=FILE\n"
-      "  eval  --in=FILE --outputs=FILE\n";
+  std::cerr << flag_table().help();
   return 2;
 }
 
@@ -104,6 +135,20 @@ int cmd_run(const io::Args& args) {
   const auto params =
       profile == "paper" ? core::Params::paper() : core::Params::practical();
 
+  // Observability sinks. The thread count must be requested before the
+  // first parallel phase constructs the global pool.
+  engine::set_global_threads(static_cast<std::size_t>(args.get_int("threads", 0)));
+  const auto metrics_path = args.get("metrics");
+  if (metrics_path.has_value()) obs::MetricsRegistry::global().set_enabled(true);
+  std::ofstream trace_out;
+  std::unique_ptr<obs::Tracer> tracer;
+  if (const auto trace_path = args.get("trace"); trace_path.has_value()) {
+    trace_out.open(*trace_path);
+    if (!trace_out) throw std::runtime_error("cannot open --trace file");
+    tracer = std::make_unique<obs::Tracer>(trace_out);
+    obs::set_tracer(tracer.get());
+  }
+
   billboard::ProbeOracle oracle(inst.matrix);
   billboard::Billboard board;
   std::vector<bits::BitVector> outputs;
@@ -148,6 +193,24 @@ int cmd_run(const io::Args& args) {
   std::ofstream os(require(args, "out"));
   if (!os) throw std::runtime_error("cannot open output file");
   io::save_outputs(outputs, os);
+
+  if (metrics_path.has_value()) {
+    // Serial point: export the oracle ledgers as gauges so baseline
+    // algos (which bypass the core entry points) are covered too.
+    auto& reg = obs::MetricsRegistry::global();
+    reg.set_gauge("oracle.total_invocations",
+                  static_cast<std::int64_t>(oracle.total_invocations()));
+    reg.set_gauge("oracle.total_charged", static_cast<std::int64_t>(oracle.total_charged()));
+    reg.set_gauge("oracle.max_invocations",
+                  static_cast<std::int64_t>(oracle.max_invocations()));
+    std::ofstream ms(*metrics_path);
+    if (!ms) throw std::runtime_error("cannot open --metrics file");
+    ms << reg.snapshot().to_json() << '\n';
+  }
+  if (tracer != nullptr) {
+    obs::set_tracer(nullptr);
+    tracer->flush();
+  }
 
   std::cout << "algo: " << algo << "\nrounds (max probes/player): "
             << oracle.max_invocations() << "\ntotal probes: " << oracle.total_invocations()
@@ -197,8 +260,17 @@ int cmd_eval(const io::Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "help") {
+    std::cout << flag_table().help();
+    return 0;
+  }
   try {
     const io::Args args(argc - 1, argv + 1);
+    if (args.get_flag("help")) {
+      std::cout << flag_table().help(cmd);
+      return 0;
+    }
+    flag_table().validate(args, cmd);
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "run") return cmd_run(args);
