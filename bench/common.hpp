@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(raw-io) bench harness: best-effort stderr warnings on sink-file open failure.
 // Shared helpers for the experiment harnesses (bench/e*_*.cpp).
 //
 // Every experiment binary:

@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(raw-io) bench main: prints its experiment table to stdout.
 // E10 — Section 6: the anytime algorithm. Without knowing alpha (or D),
 // run phases with alpha = 1/2, 1/4, ...; after each phase every player
 // keeps the better of its previous and new output via RSelect. At any
@@ -13,6 +14,11 @@
 // Phases with alpha > alpha* cannot resolve it (the vote thresholds are
 // too high for a 1/8 minority); the alpha = 1/8 phase locks the
 // discrepancy to 0 — and the cumulative rounds are still well under m.
+//
+// The phases use the paper's alpha/2 vote fraction rather than
+// practical()'s 0.25: the blindness claim needs the phase-1 quorum
+// (zr_vote_frac * alpha) to sit strictly ABOVE the planted fraction
+// 1/8, and 0.25 * 0.5 lands exactly ON it — a coin-flip verdict.
 #include <cmath>
 #include <iostream>
 
@@ -30,7 +36,8 @@ int main(int argc, char** argv) {
   bench::BenchReport report(args, "e10_anytime");
   const auto seed = args.get_seed("seed", 10);
   const std::size_t n = static_cast<std::size_t>(args.get_int("n", 1024));
-  const auto params = core::Params::practical();
+  auto params = core::Params::practical();
+  params.zr_vote_frac = 0.5;  // paper's alpha/2 quorum (see header note)
 
   rng::Rng gen(seed);
   auto inst = matrix::planted_community(n, n, {0.125, 0}, gen);

@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(raw-io) bench main: prints its experiment table to stdout.
 // E11 — google-benchmark microbenchmarks of the substrates: the
 // popcount Hamming kernels, vote tallying, random partitions, Coalesce,
 // the truncated SVD and the parallel_for engine. These quantify the

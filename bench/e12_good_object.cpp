@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(raw-io) bench main: prints its experiment table to stdout.
 // E12 — the [4] comparator (Awerbuch, Patt-Shamir, Peleg, Tuttle,
 // SODA'05), which this paper generalizes: finding ONE commonly liked
 // object costs O(m + n log |P|) probes *total* across all players —

@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(raw-io) bench main: prints its experiment table to stdout.
 // E13 — robustness to probe noise (the paper's intro: "various
 // time-variable factors (such as noise, weather, mood) may create
 // diversity as a side effect"). Sticky epsilon-noise turns an

@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(raw-io) bench main: prints its experiment table to stdout.
 // E14 — Byzantine vote manipulation ("some eBay users may be
 // dishonest", Section 1). A coalition of liars coordinates on a forged
 // vector to cross Zero Radius's popularity threshold. Two policies are

@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(raw-io) bench main: prints its experiment table to stdout.
 // E15 — the intro's "tracking dynamic environment by unreliable
 // sensors ... fall under this interactive framework". The hidden
 // preferences drift between epochs (the community moves as a block plus

@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(raw-io) bench main: prints its experiment table to stdout.
 // E16 — fault-injection sweep: how much quality do the fault-tolerant
 // phases give up as players crash-stop and billboard posts vanish?
 //

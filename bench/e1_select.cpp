@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(raw-io) bench main: prints its experiment table to stdout.
 // E1 — Theorem 3.2: Algorithm Select solves Choose Closest with at most
 // k(D+1) probes and returns the (lexicographically first) closest
 // candidate.

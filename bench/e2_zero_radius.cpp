@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(raw-io) bench main: prints its experiment table to stdout.
 // E2 — Theorem 3.1: Algorithm Zero Radius lets an alpha-fraction
 // community with *identical* preferences reconstruct its vector exactly
 // w.h.p. in O(log n / alpha) probing rounds.

@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(raw-io) bench main: prints its experiment table to stdout.
 // E3 — Lemma 4.1: partition a coordinate set into s parts; if the M
 // input vectors have pairwise distance <= d, then with probability
 // >= 1 - 10^3*5^5*d^3 / (6! * s^2), every part has >= M/5 vectors that

@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(raw-io) bench main: prints its experiment table to stdout.
 // E4 — Theorem 4.4: Algorithm Small Radius gives every typical player
 // an output within 5D of its own vector, in
 // O(K * D^{3/2} * (D + log n) / alpha) probing rounds.

@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(raw-io) bench main: prints its experiment table to stdout.
 // E5 — Theorem 5.3: Algorithm Coalesce reduces n vectors to at most
 // 1/alpha candidates; when an (alpha, D) cluster exists there is a
 // unique candidate closest to all of it, within 2D under d-tilde, with

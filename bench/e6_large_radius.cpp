@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(raw-io) bench main: prints its experiment table to stdout.
 // E6 — Theorem 5.4: Algorithm Large Radius handles D >> log n with
 // output error O(D/alpha) and probing cost polylogarithmic in n
 // (for m = Theta(n); a factor m/n more otherwise).

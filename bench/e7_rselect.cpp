@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(raw-io) bench main: prints its experiment table to stdout.
 // E7 — Theorem 6.1: Algorithm RSelect solves Choose Closest with no
 // distance bound in O(|V|^2 log n) probes, returning a candidate within
 // O(D) of the best.

@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(raw-io) bench main: prints its experiment table to stdout.
 // E8 — Theorem 1.1 end to end: with m = Theta(n) and any typical set of
 // Omega(n) players, the full algorithm (unknown D, known alpha) gives
 // every typical player constant stretch after polylog(n) rounds.

@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(raw-io) bench main: prints its experiment table to stdout.
 // E9 — the paper's positioning claim (Sections 1-2): provable
 // collaborative filtering without assumptions on the preference matrix.
 //

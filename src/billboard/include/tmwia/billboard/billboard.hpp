@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "tmwia/bits/bitvector.hpp"
-#include "tmwia/matrix/preference_matrix.hpp"
+#include "tmwia/matrix/ids.hpp"
 
 namespace tmwia::billboard {
 

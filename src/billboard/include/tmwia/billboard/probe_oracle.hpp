@@ -26,6 +26,8 @@
 
 namespace tmwia::billboard {
 
+class ProtocolAuditor;
+
 using matrix::ObjectId;
 using matrix::PlayerId;
 
@@ -67,6 +69,16 @@ class ProbeOracle {
   /// must outlive the oracle's use. nullptr detaches.
   void set_fault_injector(faults::FaultInjector* injector) { injector_ = injector; }
   [[nodiscard]] faults::FaultInjector* fault_injector() const { return injector_; }
+
+#if TMWIA_AUDIT
+  /// Attach a ProtocolAuditor: probes, result reads and (through the
+  /// RoundScheduler) posts are reported to it so the paper's billboard
+  /// model can be checked at runtime. Attach before the first probe so
+  /// the cost ledgers line up. The auditor must outlive the oracle's
+  /// use; nullptr detaches. Compiled out when TMWIA_AUDIT is 0.
+  void set_auditor(ProtocolAuditor* auditor) { auditor_ = auditor; }
+  [[nodiscard]] ProtocolAuditor* auditor() const { return auditor_; }
+#endif
 
   /// Player p probes object o: returns v(p)[o], charges cost, records
   /// the result on the probe record (billboard side). With a fault
@@ -128,6 +140,9 @@ class ProbeOracle {
   const matrix::PreferenceMatrix* truth_;
   NoiseModel noise_;
   faults::FaultInjector* injector_ = nullptr;
+#if TMWIA_AUDIT
+  ProtocolAuditor* auditor_ = nullptr;
+#endif
   std::vector<std::atomic<std::uint64_t>> invocations_;
   std::vector<std::atomic<std::uint64_t>> charged_;
   // Per-player record of which objects were probed and the posted

@@ -1,6 +1,20 @@
 #include "tmwia/billboard/probe_oracle.hpp"
 
+#include "tmwia/billboard/protocol_auditor.hpp"
 #include "tmwia/obs/metrics.hpp"
+
+// Audit hooks compile to nothing when TMWIA_AUDIT is 0; with hooks
+// compiled in but no auditor attached the cost is one pointer test.
+#if TMWIA_AUDIT
+#define TMWIA_AUDIT_HOOK(call)                      \
+  do {                                              \
+    if (auditor_ != nullptr) auditor_->call;        \
+  } while (0)
+#else
+#define TMWIA_AUDIT_HOOK(call) \
+  do {                         \
+  } while (0)
+#endif
 
 namespace tmwia::billboard {
 namespace {
@@ -77,6 +91,7 @@ bool ProbeOracle::probe(PlayerId p, ObjectId o) {
         // The probe was sent and the round spent; only the result is
         // lost, so the retry shows up in the invocation accounting.
         invocations_[p].fetch_add(1, std::memory_order_relaxed);
+        TMWIA_AUDIT_HOOK(on_probe_attempt(p));
         oracle_metrics().failures.inc();
         throw faults::ProbeFailedError(p, o);
       case faults::FaultInjector::Attempt::kOk:
@@ -84,12 +99,14 @@ bool ProbeOracle::probe(PlayerId p, ObjectId o) {
     }
   }
   const auto inv = invocations_[p].fetch_add(1, std::memory_order_relaxed);
+  TMWIA_AUDIT_HOOK(on_probe_attempt(p));
   if (!probed_[p].get(o)) {
     charged_[p].fetch_add(1, std::memory_order_relaxed);
     probed_[p].set(o, true);
   }
   const bool value = noisy_read(p, o, inv);
   values_[p].set(o, value);
+  TMWIA_AUDIT_HOOK(on_probe(p, o));
   return value;
 }
 
@@ -131,6 +148,7 @@ bool ProbeOracle::probed_value(PlayerId p, ObjectId o) const {
   if (!probed_[p].get(o)) {
     throw std::logic_error("ProbeOracle::probed_value: entry was never probed");
   }
+  TMWIA_AUDIT_HOOK(on_read(p, o));
   return values_[p].get(o);
 }
 

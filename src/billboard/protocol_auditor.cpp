@@ -1,0 +1,180 @@
+#include "tmwia/billboard/protocol_auditor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tmwia::billboard {
+
+const char* to_string(AuditViolation::Kind kind) {
+  switch (kind) {
+    case AuditViolation::Kind::kDoubleProbe:
+      return "double_probe";
+    case AuditViolation::Kind::kPhantomPost:
+      return "phantom_post";
+    case AuditViolation::Kind::kReadBeforePost:
+      return "read_before_post";
+    case AuditViolation::Kind::kCostMismatch:
+      return "cost_mismatch";
+  }
+  return "unknown";
+}
+
+std::string AuditReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"clean\":" << (clean() ? "true" : "false")
+     << ",\"rounds_audited\":" << rounds_audited
+     << ",\"probes_audited\":" << probes_audited
+     << ",\"reads_audited\":" << reads_audited
+     << ",\"posts_audited\":" << posts_audited << ",\"violations\":[";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const auto& v = violations[i];
+    if (i != 0) os << ",";
+    os << "{\"kind\":\"" << to_string(v.kind) << "\",\"player\":" << v.player
+       << ",\"object\":" << v.object << ",\"round\":" << v.round << ",\"detail\":\""
+       << v.detail << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+ProtocolAuditor::ProtocolAuditor(std::size_t players, std::size_t objects)
+    : players_(players),
+      objects_(objects),
+      attempts_(players),
+      round_probe_count_(players, 0),
+      probed_this_round_(players, bits::BitVector(objects)),
+      posted_(players, bits::BitVector(objects)) {}
+
+void ProtocolAuditor::record(AuditViolation v) {
+  const std::scoped_lock lock(mu_);
+  violations_.push_back(std::move(v));
+}
+
+void ProtocolAuditor::begin_round(std::uint64_t round) {
+  round_active_ = true;
+  round_ = round;
+  rounds_.fetch_add(1, std::memory_order_relaxed);
+  std::fill(round_probe_count_.begin(), round_probe_count_.end(), 0);
+  round_probes_.clear();
+  round_posts_.clear();
+}
+
+void ProtocolAuditor::end_round() {
+  // A2: every published result must match a successful probe this round.
+  for (const auto& [p, o] : round_posts_) {
+    if (!probed_this_round_[p].get(o)) {
+      record({AuditViolation::Kind::kPhantomPost, p, o, round_,
+              "posted result has no matching probe this round"});
+    }
+    posted_[p].set(o, true);
+  }
+  // Sparse clear: only the bits this round actually touched.
+  for (const auto& [p, o] : round_probes_) {
+    posted_[p].set(o, true);  // the round is over; the result is public
+    probed_this_round_[p].set(o, false);
+  }
+  round_active_ = false;
+}
+
+void ProtocolAuditor::on_probe_attempt(matrix::PlayerId p) {
+  if (p < players_) attempts_[p].fetch_add(1, std::memory_order_relaxed);
+}
+
+void ProtocolAuditor::on_probe(matrix::PlayerId p, matrix::ObjectId o) {
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  if (!round_active_ || p >= players_ || o >= objects_) return;
+  // A1: one successful probe per player per round. Transient failures
+  // retried within the round are the same probe resent (they land in
+  // the attempt ledger, not here).
+  if (++round_probe_count_[p] > 1) {
+    record({AuditViolation::Kind::kDoubleProbe, p, o, round_,
+            "player landed a second successful probe in one round"});
+  }
+  probed_this_round_[p].set(o, true);
+  round_probes_.emplace_back(p, o);
+}
+
+void ProtocolAuditor::on_post(matrix::PlayerId p, matrix::ObjectId o) {
+  posts_.fetch_add(1, std::memory_order_relaxed);
+  if (!round_active_ || p >= players_ || o >= objects_) return;
+  round_posts_.emplace_back(p, o);
+}
+
+void ProtocolAuditor::on_read(matrix::PlayerId p, matrix::ObjectId o) {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  if (!round_active_ || p >= players_ || o >= objects_) return;
+  // A3: a result first probed this round is private to its prober
+  // until the round ends. Results posted in earlier rounds are public.
+  if (probed_this_round_[p].get(o) && !posted_[p].get(o)) {
+    record({AuditViolation::Kind::kReadBeforePost, p, o, round_,
+            "billboard read of a result not yet published"});
+  }
+}
+
+void ProtocolAuditor::verify_invocations(const std::vector<std::uint64_t>& expected) {
+  const std::size_t n = std::min(expected.size(), attempts_.size());
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto audited = attempts_[p].load(std::memory_order_relaxed);
+    if (audited != expected[p]) {
+      record({AuditViolation::Kind::kCostMismatch, static_cast<matrix::PlayerId>(p), 0,
+              round_,
+              "audited " + std::to_string(audited) + " invocations, oracle ledger says " +
+                  std::to_string(expected[p])});
+    }
+  }
+  if (expected.size() != attempts_.size()) {
+    record({AuditViolation::Kind::kCostMismatch, 0, 0, round_,
+            "ledger size mismatch: audited " + std::to_string(attempts_.size()) +
+                " players, expected " + std::to_string(expected.size())});
+  }
+}
+
+void ProtocolAuditor::verify_totals(std::uint64_t total_probes, std::uint64_t rounds) {
+  std::uint64_t total = 0;
+  std::uint64_t mx = 0;
+  for (const auto& a : attempts_) {
+    const auto v = a.load(std::memory_order_relaxed);
+    total += v;
+    mx = std::max(mx, v);
+  }
+  if (total != total_probes) {
+    record({AuditViolation::Kind::kCostMismatch, 0, 0, round_,
+            "audited " + std::to_string(total) + " total probes, report claims " +
+                std::to_string(total_probes)});
+  }
+  if (mx != rounds) {
+    record({AuditViolation::Kind::kCostMismatch, 0, 0, round_,
+            "audited max " + std::to_string(mx) + " probes/player, report claims " +
+                std::to_string(rounds) + " rounds"});
+  }
+}
+
+AuditReport ProtocolAuditor::report() const {
+  AuditReport r;
+  r.rounds_audited = rounds_.load(std::memory_order_relaxed);
+  r.probes_audited = probes_.load(std::memory_order_relaxed);
+  r.reads_audited = reads_.load(std::memory_order_relaxed);
+  r.posts_audited = posts_.load(std::memory_order_relaxed);
+  const std::scoped_lock lock(mu_);
+  r.violations = violations_;
+  return r;
+}
+
+void ProtocolAuditor::reset() {
+  for (auto& a : attempts_) a.store(0, std::memory_order_relaxed);
+  probes_.store(0, std::memory_order_relaxed);
+  reads_.store(0, std::memory_order_relaxed);
+  posts_.store(0, std::memory_order_relaxed);
+  rounds_.store(0, std::memory_order_relaxed);
+  round_active_ = false;
+  round_ = 0;
+  std::fill(round_probe_count_.begin(), round_probe_count_.end(), 0);
+  round_probes_.clear();
+  round_posts_.clear();
+  for (auto& v : probed_this_round_) v = bits::BitVector(objects_);
+  for (auto& v : posted_) v = bits::BitVector(objects_);
+  const std::scoped_lock lock(mu_);
+  violations_.clear();
+}
+
+}  // namespace tmwia::billboard

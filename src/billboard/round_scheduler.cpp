@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "tmwia/billboard/protocol_auditor.hpp"
 #include "tmwia/obs/metrics.hpp"
 #include "tmwia/obs/trace.hpp"
 
@@ -43,6 +44,9 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
   }
 
   auto* injector = oracle_->fault_injector();
+#if TMWIA_AUDIT
+  auto* auditor = oracle_->auditor();
+#endif
   const auto& metrics = scheduler_metrics();
   obs::Span span(obs::tracer(), "scheduler.run",
                  {{"players", strategies.size()}, {"max_rounds", max_rounds}});
@@ -63,6 +67,11 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
   std::vector<std::uint8_t> threw(strategies.size(), 0);
 
   for (std::size_t round = 0; round < max_rounds; ++round) {
+#if TMWIA_AUDIT
+    // The auditor's round clock brackets everything players do this
+    // round (probes, billboard reads, result posts).
+    if (auditor != nullptr) auditor->begin_round(round);
+#endif
     if (injector != nullptr) {
       injector->begin_round(round);
       // Delayed posts come due: publish before the view is built, so
@@ -155,6 +164,9 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
 
     if (!any_active) {
       res.rounds = round;
+#if TMWIA_AUDIT
+      if (auditor != nullptr) auditor->end_round();
+#endif
       break;
     }
     ++res.rounds;
@@ -163,10 +175,16 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
 
     for (const auto& [p, o] : this_round) {
       posted_[p].set(o, true);
+#if TMWIA_AUDIT
+      if (auditor != nullptr) auditor->on_post(p, o);
+#endif
     }
     for (auto& [p, post] : vector_posts) {
       board_.post(post.channel, p, post.vec);
     }
+#if TMWIA_AUDIT
+    if (auditor != nullptr) auditor->end_round();
+#endif
   }
 
   // Never-published delayed posts should not vanish silently.

@@ -61,6 +61,9 @@ class BitSpace {
     auto* inj = oracle_->fault_injector();
     return inj != nullptr && inj->post_lost(p, post_tag(channel));
   }
+  /// Orphan adoption (a fault-recovery deviation from the paper's
+  /// vote) is only licensed when faults are actually being injected.
+  [[nodiscard]] bool faults_active() const { return oracle_->fault_injector() != nullptr; }
   void note_orphan(PlayerId p) {
     if (auto* inj = oracle_->fault_injector(); inj != nullptr) inj->note_orphan(p);
   }

@@ -35,7 +35,7 @@
 
 #include "tmwia/core/params.hpp"
 #include "tmwia/engine/thread_pool.hpp"
-#include "tmwia/matrix/preference_matrix.hpp"
+#include "tmwia/matrix/ids.hpp"
 #include "tmwia/rng/partition.hpp"
 #include "tmwia/rng/rng.hpp"
 
@@ -108,6 +108,16 @@ bool space_post_lost(Space& space, PlayerId p, std::string_view channel) {
     (void)space;
     (void)p;
     (void)channel;
+    return false;
+  }
+}
+
+template <typename Space>
+bool space_faults_active(Space& space) {
+  if constexpr (requires { { space.faults_active() } -> std::convertible_to<bool>; }) {
+    return space.faults_active();
+  } else {
+    (void)space;
     return false;
   }
 }
@@ -337,8 +347,16 @@ struct ZeroRadiusRun {
     // back to the surviving posts themselves, most-supported first —
     // probing-based Select still rejects anything that disagrees with
     // the adopter's own truth.
+    //
+    // Strictly gated on an ACTIVE fault injector: in a fault-free run a
+    // below-quorum vote means the community is smaller than this
+    // phase's alpha, and the paper's model (Fig. 2 step 4) adopts
+    // nothing. Falling back here anyway would let a phase resolve
+    // communities below its alpha scale — a silent protocol deviation
+    // (it broke E10's anytime blindness verdict) and a divergence from
+    // the distributed ZeroRadiusStrategy, which has no such fallback.
     bool orphan_fallback = false;
-    if (candidates.empty() && !votable.empty()) {
+    if (candidates.empty() && !votable.empty() && space_faults_active(space)) {
       candidates = top_vectors(votable, params.ft_orphan_candidates);
       orphan_fallback = true;
     }

@@ -51,6 +51,7 @@ class VirtualSpace {
   void note_orphan(PlayerId p) {
     if (auto* inj = oracle_->fault_injector(); inj != nullptr) inj->note_orphan(p);
   }
+  [[nodiscard]] bool faults_active() const { return oracle_->fault_injector() != nullptr; }
 
  private:
   billboard::ProbeOracle* oracle_;

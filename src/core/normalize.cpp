@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(matrix-read-in-strategy) harness side: see normalize.hpp.
 #include "tmwia/core/normalize.hpp"
 
 #include <stdexcept>

@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(matrix-read-in-strategy) harness side: see session.hpp.
 #include "tmwia/core/session.hpp"
 
 #include <fstream>

@@ -7,7 +7,9 @@
 namespace tmwia::engine {
 namespace {
 
+// tmwia-lint: allow(nonconst-global) registered singleton: global pool config
 std::atomic<std::size_t> g_desired_threads{0};
+// tmwia-lint: allow(nonconst-global) registered singleton: global pool latch
 std::atomic<bool> g_global_started{false};
 
 }  // namespace

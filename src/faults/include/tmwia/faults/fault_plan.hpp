@@ -30,7 +30,7 @@
 #include <string_view>
 #include <vector>
 
-#include "tmwia/matrix/preference_matrix.hpp"
+#include "tmwia/matrix/ids.hpp"
 
 namespace tmwia::faults {
 

@@ -1,0 +1,16 @@
+// Player/object identifier types, split out of preference_matrix.hpp so
+// that strategy-side code (the algorithm tower, billboard strategies)
+// can name players and objects WITHOUT being able to name — let alone
+// read — the hidden PreferenceMatrix. tmwia-lint's
+// `matrix-read-in-strategy` rule forbids including preference_matrix.hpp
+// from strategy code; this header is the sanctioned replacement.
+#pragma once
+
+#include <cstdint>
+
+namespace tmwia::matrix {
+
+using PlayerId = std::uint32_t;
+using ObjectId = std::uint32_t;
+
+}  // namespace tmwia::matrix

@@ -10,11 +10,9 @@
 #include <vector>
 
 #include "tmwia/bits/bitvector.hpp"
+#include "tmwia/matrix/ids.hpp"
 
 namespace tmwia::matrix {
-
-using PlayerId = std::uint32_t;
-using ObjectId = std::uint32_t;
 
 /// n players x m objects, one packed BitVector row per player.
 class PreferenceMatrix {

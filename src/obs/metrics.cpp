@@ -10,6 +10,7 @@ namespace {
 
 /// Registries get process-unique ids so the thread-local shard cache
 /// can never confuse a new registry allocated at a recycled address.
+// tmwia-lint: allow(nonconst-global) registered singleton: monotone id source
 std::atomic<std::uint64_t> g_next_registry_id{1};
 
 struct TlsShardCache {

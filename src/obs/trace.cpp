@@ -6,6 +6,7 @@
 namespace tmwia::obs {
 namespace {
 
+// tmwia-lint: allow(nonconst-global) registered singleton: process-wide tracer slot
 std::atomic<Tracer*> g_tracer{nullptr};
 
 void append_json_string(std::string& out, std::string_view s) {
@@ -49,7 +50,7 @@ void append_attr_value(std::string& out, const Attr& a) {
 Tracer::Tracer(std::ostream& out, bool wall_time) : out_(out), wall_time_(wall_time) {}
 
 std::uint64_t Tracer::begin_span(std::string_view name, AttrList attrs) {
-  std::uint64_t id;
+  std::uint64_t id = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
     id = next_span_++;
@@ -96,6 +97,7 @@ void Tracer::emit(std::string_view kind, std::uint64_t span_id, std::string_view
     line += ",\"wall_us\":";
     line += std::to_string(us);
   }
+  // tmwia-lint: allow(size-empty) std::initializer_list has size() but no empty()
   if (attrs.size() != 0) {
     line += ",\"attrs\":{";
     bool first = true;

@@ -1,0 +1,621 @@
+#!/usr/bin/env python3
+"""tmwia-lint: project lint for determinism and billboard-protocol rules.
+
+The paper's guarantees (Thm 1.1: constant stretch in polylog rounds)
+assume the billboard model exactly: deterministic seeded randomness,
+estimates computed only from billboard-visible posts, one probe per
+player per round, and probe-cost accounting that cannot drift. The
+runtime half of that contract is checked by billboard::ProtocolAuditor;
+this tool is the static half. It scans C++ sources (comments and string
+literals stripped) for constructs that would let those invariants rot:
+
+  unseeded-rng             rand()/srand()/std::random_device/std::mt19937
+                           and friends. All randomness must flow from
+                           tmwia::rng::Rng seeds (splittable, replayable).
+  wall-clock               system_clock/steady_clock/time()/... in library
+                           or test code. Wall time is nondeterminism; only
+                           src/obs (opt-in tracing) and bench/ (measuring
+                           wall time is their job) may touch clocks.
+  raw-io                   std::cout/std::cerr/printf in library code —
+                           output must go through io::/obs:: so runs stay
+                           machine-comparable. Bench/test mains that print
+                           carry explicit allow-file pragmas.
+  nonconst-global          mutable namespace-scope state outside the
+                           registered singletons (function-local statics
+                           like MetricsRegistry::global() are fine).
+  matrix-read-in-strategy  strategy code naming PreferenceMatrix (or
+                           including preference_matrix.hpp): player code
+                           must reach the hidden matrix only through
+                           ProbeOracle, which charges probe cost. Use
+                           tmwia/matrix/ids.hpp for the id types.
+  size-empty               `x.size() == 0` instead of `x.empty()` (the
+                           readability-container-size-empty mirror, kept
+                           here because clang-tidy is optional).
+  header-pragma-once       every header starts its include guard.
+  header-test-stale        tests/header_selfcontained_test.cpp no longer
+                           matches the set of public headers (regenerate
+                           with --write-header-test).
+  header-selfcontained     (--compile-checks) each public header compiles
+                           as its own translation unit.
+
+Suppressions are explicit and auditable:
+
+  // tmwia-lint: allow(rule[,rule]) [reason]       this line or the next
+  // tmwia-lint: allow-file(rule[,rule]) [reason]  whole file
+
+Every suppression is recorded in the JSON report's "allowed" lists —
+nothing is silently exempt.
+
+Usage:
+  tools/lint/tmwia_lint.py [--root DIR] [--json PATH] [--compile-checks]
+                           [--write-header-test] [--list-rules] [-q]
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+from dataclasses import dataclass, field
+
+CODE_DIRS = ("src", "bench", "tests", "tools", "examples")
+CPP_EXTS = (".cpp", ".hpp", ".cc", ".hh", ".h")
+
+PRAGMA_LINE = re.compile(r"//\s*tmwia-lint:\s*allow\(([^)]*)\)")
+PRAGMA_FILE = re.compile(r"//\s*tmwia-lint:\s*allow-file\(([^)]*)\)")
+
+
+@dataclass
+class Finding:
+    rule: str
+    file: str
+    line: int
+    text: str
+    allowed: bool = False
+
+    def as_json(self):
+        return {"file": self.file, "line": self.line, "text": self.text}
+
+
+@dataclass
+class Rule:
+    id: str
+    description: str
+    # A file is in scope if it matches `dirs` and none of `exempt`.
+    dirs: tuple
+    exempt: tuple = ()
+    patterns: tuple = ()
+
+    def in_scope(self, relpath: str) -> bool:
+        if not any(relpath.startswith(d) for d in self.dirs):
+            return False
+        return not any(relpath.startswith(e) for e in self.exempt)
+
+
+RULES = [
+    Rule(
+        id="unseeded-rng",
+        description="ambient/unseeded randomness; use tmwia::rng::Rng (seeded, splittable)",
+        dirs=CODE_DIRS,
+        patterns=(
+            r"\brand\s*\(",
+            r"\bsrand\s*\(",
+            r"\bstd\s*::\s*random_device\b",
+            r"\brandom_device\b",
+            r"\bmt19937(_64)?\b",
+            r"\bdefault_random_engine\b",
+            r"\bminstd_rand0?\b",
+        ),
+    ),
+    Rule(
+        id="wall-clock",
+        description="wall-clock reads outside src/obs and bench/ break replayability",
+        dirs=("src", "tests", "tools", "examples"),
+        exempt=("src/obs",),
+        patterns=(
+            r"\bsystem_clock\b",
+            r"\bhigh_resolution_clock\b",
+            r"\bsteady_clock\b",
+            r"\bgettimeofday\b",
+            r"\bclock_gettime\b",
+            r"\bstd\s*::\s*time\b",
+            r"\btime\s*\(\s*(NULL|nullptr|0)\s*\)",
+            r"\blocaltime\b",
+            r"\bgmtime\b",
+        ),
+    ),
+    Rule(
+        id="raw-io",
+        description="direct stdout/stderr in library code; route through io::/obs::",
+        dirs=("src", "bench", "tests"),
+        exempt=("src/io", "src/obs"),
+        patterns=(
+            r"\bstd\s*::\s*cout\b",
+            r"\bstd\s*::\s*cerr\b",
+            r"(?<![\w:])printf\s*\(",   # not snprintf/fprintf-matched-below
+            r"\bfprintf\s*\(",
+            r"(?<![\w:])puts\s*\(",
+            r"\bfputs\s*\(",
+        ),
+    ),
+    Rule(
+        id="matrix-read-in-strategy",
+        description="strategy code must not see PreferenceMatrix (hidden-vector "
+        "abstraction); include tmwia/matrix/ids.hpp for id types",
+        dirs=("src/core", "src/billboard"),
+        exempt=(
+            # The single sanctioned gateway between players and the truth.
+            "src/billboard/probe_oracle.",
+            "src/billboard/include/tmwia/billboard/probe_oracle.hpp",
+        ),
+        patterns=(
+            r"\bPreferenceMatrix\b",
+            r"preference_matrix\.hpp",
+        ),
+    ),
+    Rule(
+        id="size-empty",
+        description="use .empty() instead of comparing .size() with 0",
+        dirs=CODE_DIRS,
+        patterns=(r"\.\s*size\s*\(\s*\)\s*[=!]=\s*0\b", r"\b0\s*[=!]=\s*\w+(\(\))?\s*\.\s*size\s*\(\s*\)"),
+    ),
+]
+
+NONCONST_GLOBAL = Rule(
+    id="nonconst-global",
+    description="mutable namespace-scope state; wrap in a registered singleton "
+    "(function-local static) or make it constexpr/const",
+    dirs=("src",),
+)
+
+HEADER_PRAGMA_ONCE = Rule(
+    id="header-pragma-once",
+    description="headers must use #pragma once",
+    dirs=CODE_DIRS,
+)
+
+HEADER_TEST_STALE = Rule(
+    id="header-test-stale",
+    description="tests/header_selfcontained_test.cpp is stale; regenerate with "
+    "tools/lint/tmwia_lint.py --write-header-test",
+    dirs=("tests",),
+)
+
+HEADER_SELFCONTAINED = Rule(
+    id="header-selfcontained",
+    description="public headers must compile stand-alone (--compile-checks)",
+    dirs=("src",),
+)
+
+ALL_RULES = RULES + [NONCONST_GLOBAL, HEADER_PRAGMA_ONCE, HEADER_TEST_STALE,
+                     HEADER_SELFCONTAINED]
+
+
+def strip_comments_and_strings(src: str) -> str:
+    """Blank out comments and the contents of string/char literals,
+    preserving line structure so reported line numbers stay true."""
+    out = []
+    i, n = 0, len(src)
+    mode = "code"  # code | line_comment | block_comment | string | char | raw_string
+    raw_delim = ""
+    while i < n:
+        c = src[i]
+        nxt = src[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "R" and nxt == '"':
+                m = re.match(r'R"([^(\s]*)\(', src[i:])
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    mode = "raw_string"
+                    out.append('R"')
+                    i += 2
+                    continue
+            if c == '"':
+                mode = "string"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                mode = "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif mode == "line_comment":
+            if c == "\n":
+                mode = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block_comment":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+            i += 1
+        elif mode == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "code"
+                out.append(c)
+            else:
+                out.append(c if c == "\n" else " ")
+            i += 1
+        elif mode == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                mode = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "raw_string":
+            if src.startswith(raw_delim, i):
+                mode = "code"
+                out.append(raw_delim)
+                i += len(raw_delim)
+                continue
+            out.append(c if c == "\n" else " ")
+            i += 1
+    return "".join(out)
+
+
+def parse_pragmas(raw_lines):
+    """Return (file_allows: set, line_allows: {lineno: set}). A line
+    pragma covers its own line and the following line."""
+    file_allows = set()
+    line_allows = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        m = PRAGMA_FILE.search(line)
+        if m:
+            file_allows.update(r.strip() for r in m.group(1).split(",") if r.strip())
+        m = PRAGMA_LINE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            line_allows.setdefault(idx, set()).update(rules)
+            line_allows.setdefault(idx + 1, set()).update(rules)
+    return file_allows, line_allows
+
+
+# Declaration statements that are not mutable globals.
+_GLOBAL_OK = re.compile(
+    r"\b(const|constexpr|constinit|using|typedef|extern|friend|template|"
+    r"operator|return|static_assert|namespace|class|struct|union|enum|"
+    r"concept|requires|thread_local)\b"
+)
+_DECL_SHAPE = re.compile(r"^[A-Za-z_][\w:<>,\s\*&\[\]\.]*\s[a-zA-Z_]\w*(\s*=[^=].*|\s*\{.*\})?$")
+
+
+def scan_nonconst_globals(stripped: str, relpath: str):
+    """Token-light scan for mutable namespace-scope variables: walk
+    statements, tracking whether every enclosing brace is a namespace."""
+    findings = []
+    stack = []  # entries: "ns" | "type" | "other"
+    stmt_chars = []
+    stmt_line = 1
+    stmt_started = False
+    line = 1
+    i, n = 0, len(stripped)
+    while i < n:
+        c = stripped[i]
+        if c == "\n":
+            line += 1
+            stmt_chars.append(" ")
+            i += 1
+            continue
+        if c == "{":
+            head = "".join(stmt_chars).strip()
+            if re.search(r"\bnamespace\b", head):
+                kind = "ns"
+            elif re.search(r"\b(class|struct|union|enum)\b", head) and "(" not in head:
+                kind = "type"
+            elif "=" in head.split("(")[0] and "(" not in head.split("=")[0]:
+                # brace-init of a variable: `T x = {...}` / `T x{...}`
+                kind = "init"
+            elif "(" not in head and head and not head.endswith(")"):
+                kind = "init"
+            else:
+                kind = "other"
+            if kind == "init" and all(k == "ns" for k in stack):
+                # `T x{...};` at namespace scope — treat like a decl.
+                head_stmt = head
+                if head_stmt and not _GLOBAL_OK.search(head_stmt) and "(" not in head_stmt:
+                    shaped = _DECL_SHAPE.match(head_stmt + "{}")
+                    if shaped:
+                        findings.append((stmt_line, head_stmt + "{...}"))
+            stack.append(kind if kind != "init" else "other")
+            stmt_chars = []
+            stmt_started = False
+            i += 1
+            continue
+        if c == "}":
+            if stack:
+                stack.pop()
+            stmt_chars = []
+            stmt_started = False
+            i += 1
+            continue
+        if c == ";":
+            stmt = re.sub(r"\s+", " ", "".join(stmt_chars)).strip()
+            if (
+                stmt
+                and all(k == "ns" for k in stack)
+                and not _GLOBAL_OK.search(stmt)
+                and "(" not in stmt  # function decls / ctor calls
+                and not stmt.startswith("#")
+                and _DECL_SHAPE.match(stmt)
+            ):
+                findings.append((stmt_line, stmt))
+            stmt_chars = []
+            stmt_started = False
+            i += 1
+            continue
+        if not stmt_started and not c.isspace():
+            stmt_line = line
+            stmt_started = True
+        stmt_chars.append(c)
+        i += 1
+    return [Finding(NONCONST_GLOBAL.id, relpath, ln, text[:160]) for ln, text in findings]
+
+
+def public_headers(root: str):
+    """Every header under src/*/include, repo-relative, sorted."""
+    out = []
+    src = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        if os.sep + "include" + os.sep not in dirpath + os.sep:
+            continue
+        for f in filenames:
+            if f.endswith(".hpp"):
+                out.append(os.path.relpath(os.path.join(dirpath, f), root))
+    return sorted(out)
+
+
+def include_name(header_relpath: str) -> str:
+    """src/core/include/tmwia/core/select.hpp -> tmwia/core/select.hpp"""
+    parts = header_relpath.split(os.sep)
+    idx = parts.index("include")
+    return "/".join(parts[idx + 1:])
+
+
+HEADER_TEST_PATH = os.path.join("tests", "header_selfcontained_test.cpp")
+
+
+def render_header_test(root: str) -> str:
+    headers = [include_name(h) for h in public_headers(root)]
+    lines = [
+        "// GENERATED by tools/lint/tmwia_lint.py --write-header-test — do not edit.",
+        "//",
+        "// Include-hygiene backstop: every public header of the library is",
+        "// included here, so a header that stops compiling (or starts relying",
+        "// on an include-order accident elsewhere in the tree) breaks this TU.",
+        "// The per-header self-containment proof is tmwia_lint.py",
+        "// --compile-checks, which compiles each header as its own TU; this",
+        "// generated test keeps the whole set compiling together in every",
+        "// build configuration, including sanitizer trees.",
+        "#include <gtest/gtest.h>",
+        "",
+    ]
+    lines += [f'#include "{h}"' for h in headers]
+    lines += [
+        "",
+        "TEST(HeaderSelfContained, AllPublicHeadersCompileTogether) {",
+        f"  SUCCEED() << \"{len(headers)} public headers included\";",
+        "}",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def check_header_test(root: str):
+    want = render_header_test(root)
+    path = os.path.join(root, HEADER_TEST_PATH)
+    try:
+        with open(path, encoding="utf-8") as f:
+            have = f.read()
+    except OSError:
+        return [Finding(HEADER_TEST_STALE.id, HEADER_TEST_PATH, 1, "file missing")]
+    if have != want:
+        return [Finding(HEADER_TEST_STALE.id, HEADER_TEST_PATH, 1,
+                        "contents differ from generator output")]
+    return []
+
+
+def compile_check_headers(root: str, quiet: bool):
+    """Compile each public header as its own TU (self-containment)."""
+    gxx = shutil.which("g++") or shutil.which("c++") or shutil.which("clang++")
+    if gxx is None:
+        return [Finding(HEADER_SELFCONTAINED.id, "src", 1, "no C++ compiler found")], 0
+    include_dirs = sorted(
+        {os.path.join(root, "src", d, "include")
+         for d in os.listdir(os.path.join(root, "src"))
+         if os.path.isdir(os.path.join(root, "src", d, "include"))}
+    )
+    args_base = [gxx, "-std=c++20", "-fsyntax-only", "-DTMWIA_AUDIT=1", "-x", "c++", "-"]
+    for d in include_dirs:
+        args_base.insert(2, "-I" + d)
+    findings = []
+    checked = 0
+    for header in public_headers(root):
+        checked += 1
+        if not quiet:
+            print(f"  [self-contained] {header}", file=sys.stderr)
+        proc = subprocess.run(
+            args_base,
+            input=f'#include "{include_name(header)}"\n',
+            capture_output=True,
+            text=True,
+            cwd=root,
+            check=False,
+        )
+        if proc.returncode != 0:
+            first_error = next(
+                (ln for ln in proc.stderr.splitlines() if "error" in ln), "compile failed"
+            )
+            findings.append(Finding(HEADER_SELFCONTAINED.id, header, 1, first_error[:200]))
+    return findings, checked
+
+
+def iter_source_files(root: str):
+    for d in CODE_DIRS:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [x for x in dirnames if x not in ("build", "__pycache__")]
+            for f in sorted(filenames):
+                if f.endswith(CPP_EXTS):
+                    yield os.path.relpath(os.path.join(dirpath, f), root)
+
+
+def lint(root: str, compile_checks: bool, quiet: bool):
+    findings = []
+    allowed = []
+    compiled = {r.id: [re.compile(p) for p in r.patterns] for r in RULES}
+    files_scanned = 0
+
+    for relpath in iter_source_files(root):
+        files_scanned += 1
+        with open(os.path.join(root, relpath), encoding="utf-8") as f:
+            raw = f.read()
+        raw_lines = raw.splitlines()
+        file_allows, line_allows = parse_pragmas(raw_lines)
+        stripped = strip_comments_and_strings(raw)
+        stripped_lines = stripped.splitlines()
+
+        def emit(f: Finding):
+            if f.rule in file_allows or f.rule in line_allows.get(f.line, set()):
+                f.allowed = True
+                allowed.append(f)
+            else:
+                findings.append(f)
+
+        # Match against stripped lines (no comment/string noise), except
+        # #include directives, whose path the stripper blanks as a string
+        # literal — those are matched raw so include-based rules can fire.
+        scan_lines = [
+            raw if raw.lstrip().startswith("#include") else stripped_line
+            for raw, stripped_line in zip(raw_lines, stripped_lines)
+        ]
+        for rule in RULES:
+            if not rule.in_scope(relpath):
+                continue
+            for lineno, line in enumerate(scan_lines, start=1):
+                for pat in compiled[rule.id]:
+                    if pat.search(line):
+                        emit(Finding(rule.id, relpath, lineno,
+                                     raw_lines[lineno - 1].strip()[:160]))
+                        break
+
+        if NONCONST_GLOBAL.in_scope(relpath):
+            for f in scan_nonconst_globals(stripped, relpath):
+                emit(f)
+
+        if relpath.endswith((".hpp", ".hh", ".h")) and "#pragma once" not in raw:
+            emit(Finding(HEADER_PRAGMA_ONCE.id, relpath, 1, "missing #pragma once"))
+
+    for f in check_header_test(root):
+        findings.append(f)
+
+    headers_checked = 0
+    if compile_checks:
+        cc_findings, headers_checked = compile_check_headers(root, quiet)
+        findings.extend(cc_findings)
+
+    return findings, allowed, files_scanned, headers_checked
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=None, help="repo root (default: two dirs up)")
+    ap.add_argument("--json", default=None, help="write machine-readable report here")
+    ap.add_argument("--compile-checks", action="store_true",
+                    help="also compile every public header stand-alone")
+    ap.add_argument("--write-header-test", action="store_true",
+                    help=f"regenerate {HEADER_TEST_PATH} and exit")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("-q", "--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"tmwia-lint: {root} does not look like the repo root", file=sys.stderr)
+        return 2
+
+    if args.list_rules:
+        for r in ALL_RULES:
+            print(f"{r.id:24} {r.description}")
+        return 0
+
+    if args.write_header_test:
+        path = os.path.join(root, HEADER_TEST_PATH)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(render_header_test(root))
+        print(f"tmwia-lint: wrote {HEADER_TEST_PATH}")
+        return 0
+
+    findings, allowed, files_scanned, headers_checked = lint(
+        root, args.compile_checks, args.quiet)
+
+    by_rule = {r.id: {"description": r.description, "findings": [], "allowed": []}
+               for r in ALL_RULES}
+    for f in findings:
+        by_rule[f.rule]["findings"].append(f.as_json())
+    for f in allowed:
+        by_rule[f.rule]["allowed"].append(f.as_json())
+
+    report = {
+        "tool": "tmwia-lint",
+        "version": 1,
+        "root": os.path.abspath(root),
+        "files_scanned": files_scanned,
+        "headers_compile_checked": headers_checked,
+        "finding_count": len(findings),
+        "allowed_count": len(allowed),
+        "ok": not findings,
+        "rules": by_rule,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+
+    if not args.quiet:
+        for f in sorted(findings, key=lambda x: (x.rule, x.file, x.line)):
+            print(f"{f.file}:{f.line}: [{f.rule}] {f.text}")
+        status = "clean" if not findings else f"{len(findings)} finding(s)"
+        print(f"tmwia-lint: {files_scanned} files, {status}, "
+              f"{len(allowed)} explicit allowance(s)", file=sys.stderr)
+    return 0 if not findings else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

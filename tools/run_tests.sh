@@ -1,33 +1,43 @@
 #!/usr/bin/env bash
 # Build and run the test suite under several configurations:
 #
+#   lint       tools/lint/tmwia_lint.py over src/, bench/, tests/ with
+#              per-header self-containment compile checks; writes
+#              build/LINT_REPORT.json and jq-checks it. Adds clang-tidy
+#              via -DTMWIA_LINT=ON when a clang-tidy binary exists.
 #   plain      full suite, default flags            (build/)
 #   asan       full suite, ASan+UBSan               (build-asan/)
 #   tsan       obs/engine/scheduler suites under ThreadSanitizer —
 #              exercises the sharded MetricsRegistry and the thread
 #              pool for data races                  (build-tsan/)
+#   audit      opt-in: just the ProtocolAuditor suite (runtime
+#              billboard-invariant checks; also part of plain)
 #   bench-json opt-in: run every e* bench binary and jq-check that each
 #              writes parseable BENCH_<name>.json
 #
 # Usage:
 #   tools/run_tests.sh [--plain-only|--sanitize-only|--tsan-only]
-#                      [--bench-json] [-j N]
+#                      [--lint-only] [--audit] [--bench-json] [-j N]
 #
-# Default runs plain + asan + tsan; all requested stages must pass.
+# Default runs lint + plain + asan + tsan; all requested stages must pass.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+RUN_LINT=1
 RUN_PLAIN=1
 RUN_SAN=1
 RUN_TSAN=1
+RUN_AUDIT=0
 RUN_BENCH_JSON=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
-    --plain-only) RUN_SAN=0; RUN_TSAN=0 ;;
-    --sanitize-only) RUN_PLAIN=0; RUN_TSAN=0 ;;
-    --tsan-only) RUN_PLAIN=0; RUN_SAN=0 ;;
+    --plain-only) RUN_SAN=0; RUN_TSAN=0; RUN_LINT=0 ;;
+    --sanitize-only) RUN_PLAIN=0; RUN_TSAN=0; RUN_LINT=0 ;;
+    --tsan-only) RUN_PLAIN=0; RUN_SAN=0; RUN_LINT=0 ;;
+    --lint-only) RUN_PLAIN=0; RUN_SAN=0; RUN_TSAN=0; RUN_LINT=1 ;;
+    --audit) RUN_AUDIT=1 ;;
     --bench-json) RUN_BENCH_JSON=1 ;;
     -j) JOBS="$2"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
@@ -41,6 +51,26 @@ run_suite() {
   cmake --build "$dir" -j "$JOBS"
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
+
+if [[ $RUN_LINT -eq 1 ]]; then
+  echo "== lint =="
+  mkdir -p "$ROOT/build"
+  python3 "$ROOT/tools/lint/tmwia_lint.py" --root "$ROOT" --compile-checks -q \
+    --json "$ROOT/build/LINT_REPORT.json"
+  if command -v jq >/dev/null; then
+    # The report must be well-formed and agree with the exit status.
+    jq -e '.tool == "tmwia-lint" and .ok == true and .finding_count == 0' \
+      "$ROOT/build/LINT_REPORT.json" >/dev/null \
+      || { echo "LINT_REPORT.json malformed or reports findings" >&2; exit 1; }
+  fi
+  if command -v clang-tidy >/dev/null; then
+    echo "-- clang-tidy (via TMWIA_LINT=ON rebuild)"
+    cmake -B "$ROOT/build-tidy" -S "$ROOT" -DTMWIA_LINT=ON
+    cmake --build "$ROOT/build-tidy" -j "$JOBS"
+  else
+    echo "-- clang-tidy not found; skipped (tmwia_lint.py rules still enforced)"
+  fi
+fi
 
 if [[ $RUN_PLAIN -eq 1 ]]; then
   echo "== plain =="
@@ -62,6 +92,13 @@ if [[ $RUN_TSAN -eq 1 ]]; then
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
     -R '(Metrics|Trace|Obs|Engine|ThreadPool|Parallel|RoundScheduler|Scheduler)'
+fi
+
+if [[ $RUN_AUDIT -eq 1 ]]; then
+  echo "== audit (ProtocolAuditor invariants) =="
+  cmake -B "$ROOT/build" -S "$ROOT" -DTMWIA_AUDIT=ON
+  cmake --build "$ROOT/build" -j "$JOBS" --target test_protocol_auditor
+  ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" -R 'ProtocolAuditor'
 fi
 
 if [[ $RUN_BENCH_JSON -eq 1 ]]; then
