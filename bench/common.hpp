@@ -1,4 +1,5 @@
 // tmwia-lint: allow-file(raw-io) bench harness: best-effort stderr warnings on sink-file open failure.
+// tmwia-lint: allow-file(sink-registration) bench harness is a sink owner: it installs the --trace/--record sinks.
 // Shared helpers for the experiment harnesses (bench/e*_*.cpp).
 //
 // Every experiment binary:
@@ -13,6 +14,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -21,10 +23,12 @@
 #include <vector>
 
 #include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/core/session.hpp"
 #include "tmwia/engine/thread_pool.hpp"
 #include "tmwia/io/args.hpp"
 #include "tmwia/io/table.hpp"
 #include "tmwia/matrix/preference_matrix.hpp"
+#include "tmwia/obs/flight_recorder.hpp"
 #include "tmwia/obs/metrics.hpp"
 #include "tmwia/obs/trace.hpp"
 
@@ -57,6 +61,18 @@ inline int verdict(const std::string& experiment, bool ok) {
   return ok ? 0 : 1;
 }
 
+/// Default BENCH json location for one experiment: --json wins;
+/// otherwise $TMWIA_BENCH_DIR/BENCH_<name>.json when the env var is set
+/// (tools/bench/bench_history.py points every binary at one directory
+/// this way), else ./BENCH_<name>.json.
+inline std::string default_json_path(const std::string& name) {
+  const char* dir = std::getenv("TMWIA_BENCH_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    return std::string(dir) + "/BENCH_" + name + ".json";
+  }
+  return "BENCH_" + name + ".json";
+}
+
 /// Per-experiment machine-readable reporting plus the shared
 /// observability flags. Construct it first thing in main:
 ///
@@ -67,20 +83,23 @@ inline int verdict(const std::string& experiment, bool ok) {
 ///   return report.finish(ok);
 ///
 /// Handled flags:
-///   --json=FILE     where to write the report (default BENCH_<name>.json)
+///   --json=FILE     where to write the report (default BENCH_<name>.json,
+///                   under $TMWIA_BENCH_DIR when that is set)
 ///   --metrics=FILE  final global-registry snapshot as one-line JSON
 ///   --trace=FILE    span/event JSONL (deterministic logical clock)
+///   --record=FILE   flight-recorder event log (see `tmwia_cli inspect`)
+///   --record-format=jsonl|binary   recorder wire format
 ///   --threads=N     global thread-pool size (0 = hardware)
 ///
 /// finish() prints the usual [PASS]/[FAIL] verdict line and writes
 /// {"bench":...,"ok":...,"wall_ms":...,"metrics":{...}}. Wall time is
-/// only in the BENCH json — the --metrics/--trace artifacts stay
-/// byte-identical across --threads for a fixed seed.
+/// only in the BENCH json — the --metrics/--trace/--record artifacts
+/// stay byte-identical across --threads for a fixed seed.
 class BenchReport {
  public:
   BenchReport(const io::Args& args, std::string name)
       : name_(std::move(name)),
-        json_path_(args.get("json").value_or("BENCH_" + name_ + ".json")),
+        json_path_(args.get("json").value_or(default_json_path(name_))),
         metrics_path_(args.get("metrics").value_or("")),
         start_(std::chrono::steady_clock::now()) {
     engine::set_global_threads(static_cast<std::size_t>(args.get_int("threads", 0)));
@@ -94,10 +113,32 @@ class BenchReport {
         std::fprintf(stderr, "warning: cannot write %s\n", trace_path->c_str());
       }
     }
+    if (const auto record_path = args.get("record"); record_path.has_value()) {
+      const auto binary = args.get("record-format").value_or("jsonl") == "binary";
+      record_out_.open(*record_path,
+                       binary ? std::ios::out | std::ios::binary : std::ios::out);
+      if (record_out_) {
+        recorder_ = std::make_unique<obs::FlightRecorder>(
+            record_out_, binary ? obs::RecordFormat::kBinary : obs::RecordFormat::kJsonl);
+        obs::set_recorder(recorder_.get());
+      } else {
+        std::fprintf(stderr, "warning: cannot write %s\n", record_path->c_str());
+      }
+    }
   }
 
   ~BenchReport() {
     if (tracer_ != nullptr && obs::tracer() == tracer_.get()) obs::set_tracer(nullptr);
+    if (recorder_ != nullptr && obs::recorder() == recorder_.get()) {
+      obs::set_recorder(nullptr);
+    }
+  }
+
+  /// Attach the planted truth so --record phase summaries carry
+  /// max/mean discrepancy (harness side only; `truth` must stay alive
+  /// for the run).
+  void record_truth(const matrix::PreferenceMatrix& truth) {
+    if (recorder_ != nullptr) recorder_->set_output_evaluator(make_truth_evaluator(truth));
   }
 
   BenchReport(const BenchReport&) = delete;
@@ -118,6 +159,10 @@ class BenchReport {
     if (tracer_ != nullptr) {
       if (obs::tracer() == tracer_.get()) obs::set_tracer(nullptr);
       tracer_->flush();
+    }
+    if (recorder_ != nullptr) {
+      if (obs::recorder() == recorder_.get()) obs::set_recorder(nullptr);
+      recorder_->flush();
     }
     if (!metrics_path_.empty()) {
       std::ofstream ms(metrics_path_);
@@ -160,6 +205,8 @@ class BenchReport {
   std::map<std::string, double> metrics_;
   std::ofstream trace_out_;
   std::unique_ptr<obs::Tracer> tracer_;
+  std::ofstream record_out_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
 };
 
 /// If the harness was invoked with --csv=DIR, mirror `table` to

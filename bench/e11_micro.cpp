@@ -1,13 +1,16 @@
 // tmwia-lint: allow-file(raw-io) bench main: prints its experiment table to stdout.
+// tmwia-lint: allow-file(sink-registration) e11 prices the recorder itself, so it owns a throwaway sink.
 // E11 — google-benchmark microbenchmarks of the substrates: the
 // popcount Hamming kernels, vote tallying, random partitions, Coalesce,
 // the truncated SVD and the parallel_for engine. These quantify the
 // constant factors behind the experiment harnesses.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <sstream>
 #include <vector>
 
 #include "common.hpp"
@@ -125,6 +128,31 @@ void BM_ProbeOracle(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeOracle);
 
+// The raw cost of one flight-recorder probe record point: Arg 0 is the
+// disabled fast path (one relaxed load of the null recorder slot),
+// Arg 1 the staged owner-write append while recording. The stage is
+// drained (and the sink discarded) off the clock every 64k events so
+// the loop measures the append, not an overflowing buffer.
+void BM_RecorderProbe(benchmark::State& state) {
+  std::ostringstream sink;
+  obs::FlightRecorder rec(sink, obs::RecordFormat::kJsonl);
+  rec.run_begin("bench", 0.5, 1, 1);
+  if (state.range(0) != 0) obs::set_recorder(&rec);
+  std::uint64_t inv = 0;
+  for (auto _ : state) {
+    if (auto* r = obs::recorder()) r->probe(0, 0, true, inv);
+    benchmark::DoNotOptimize(inv);
+    if ((++inv & 0xFFFF) == 0) {
+      state.PauseTiming();
+      rec.note("drain", inv, 0);
+      sink.str("");
+      state.ResumeTiming();
+    }
+  }
+  obs::set_recorder(nullptr);
+}
+BENCHMARK(BM_RecorderProbe)->Arg(0)->Arg(1);
+
 // The raw cost of one disabled (Arg 0) vs enabled (Arg 1) counter
 // increment — the per-event price the instrumentation adds.
 void BM_MetricsCounterAdd(benchmark::State& state) {
@@ -160,6 +188,34 @@ double select_workload_ms(std::size_t iters) {
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
+/// The same Select workload with the flight-recorder record point spliced
+/// into the probe lambda — exactly the hook the ProbeOracle carries.
+/// With the recorder slot null this prices the *disabled* path (one
+/// relaxed load + untaken branch per probe) against select_workload_ms;
+/// with a recorder attached it prices full recording.
+double select_workload_hooked_ms(std::size_t iters) {
+  rng::Rng rng(11);
+  const auto truth = matrix::random_vector(512, rng);
+  std::vector<bits::BitVector> cands;
+  cands.push_back(matrix::flip_random(truth, 3, rng));
+  for (std::size_t i = 1; i < 8; ++i) cands.push_back(matrix::random_vector(512, rng));
+  std::size_t sink = 0;
+  std::uint64_t inv = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t it = 0; it < iters; ++it) {
+    const auto res = core::select_closest(cands, 3, [&](std::uint32_t j) {
+      const bool v = truth.get(j);
+      if (auto* r = obs::recorder()) r->probe(0, j, v, inv++);
+      return v;
+    });
+    sink += res.index + res.probes;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(sink);
+  benchmark::DoNotOptimize(inv);
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
 }  // namespace
 
 // Custom main: --benchmark_* flags go to google-benchmark, everything
@@ -185,11 +241,15 @@ int main(int argc, char** argv) {
   auto& reg = obs::MetricsRegistry::global();
   const bool was_enabled = reg.enabled();
   const std::size_t iters =
-      static_cast<std::size_t>(args.get_int("overhead-iters", 20000));
+      static_cast<std::size_t>(args.get_int("overhead-iters", 60000));
+  // Timer/scheduler jitter on a shared box is additive and positive,
+  // so the minimum over reps converges on the true runtime of each
+  // side; the ~60ms measurement window keeps millisecond-scale jitter
+  // under the 5% budget being measured.
   select_workload_ms(iters / 4);  // warm-up
   double off_ms = 1e300;
   double on_ms = 1e300;
-  for (int rep = 0; rep < 5; ++rep) {
+  for (int rep = 0; rep < 7; ++rep) {
     reg.set_enabled(false);
     off_ms = std::min(off_ms, select_workload_ms(iters));
     reg.set_enabled(true);
@@ -202,7 +262,51 @@ int main(int argc, char** argv) {
   report.metric("select_ms_metrics_off", off_ms);
   report.metric("select_ms_metrics_on", on_ms);
   report.metric("metrics_overhead_pct", overhead_pct);
-  const bool ok = overhead_pct <= 5.0;
+
+  // Same drill for the flight recorder. The budget from ISSUE/DESIGN is
+  // on the *disabled* path: the record point compiled into every probe
+  // site (one relaxed load of the null recorder slot + an untaken
+  // branch) must cost <= 5% on the Select workload. That is what we
+  // gate: plain workload vs. hooked workload with no recorder attached.
+  // Full recording of every probe is real work, not a fast path — it is
+  // reported (recorder_enabled_pct) but ungated.
+  obs::set_recorder(nullptr);
+  select_workload_hooked_ms(iters / 4);  // warm-up
+  double rec_base_ms = 1e300;
+  double rec_null_ms = 1e300;
+  for (int rep = 0; rep < 7; ++rep) {
+    rec_base_ms = std::min(rec_base_ms, select_workload_ms(iters));
+    rec_null_ms = std::min(rec_null_ms, select_workload_hooked_ms(iters));
+  }
+  const double rec_overhead_pct = (rec_null_ms / rec_base_ms - 1.0) * 100.0;
+
+  std::ostringstream rec_sink;
+  obs::FlightRecorder rec(rec_sink, obs::RecordFormat::kJsonl, std::size_t{1} << 22);
+  rec.run_begin("bench", 0.5, 1, 512);
+  const std::size_t rec_iters = std::max<std::size_t>(1, iters / 4);
+  double rec_on_ms = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    obs::set_recorder(&rec);
+    rec_on_ms = std::min(rec_on_ms, select_workload_hooked_ms(rec_iters));
+    obs::set_recorder(nullptr);
+    rec.note("drain", static_cast<std::uint64_t>(rep), 0);
+    rec_sink.str("");
+  }
+  rec.run_end("bench", 0, 0);
+  const double rec_enabled_pct =
+      (rec_on_ms / (rec_null_ms * static_cast<double>(rec_iters) /
+                    static_cast<double>(iters)) -
+       1.0) *
+      100.0;
+  std::printf("select workload: recorder hook disabled %.3f ms vs plain %.3f ms, "
+              "overhead %.2f%% (recording: +%.2f%%)\n",
+              rec_null_ms, rec_base_ms, rec_overhead_pct, rec_enabled_pct);
+  report.metric("select_ms_recorder_base", rec_base_ms);
+  report.metric("select_ms_recorder_null", rec_null_ms);
+  report.metric("recorder_overhead_pct", rec_overhead_pct);
+  report.metric("recorder_enabled_pct", rec_enabled_pct);
+
+  const bool ok = overhead_pct <= 5.0 && rec_overhead_pct <= 5.0;
   benchmark::Shutdown();
   return report.finish(ok);
 }

@@ -59,6 +59,8 @@ int main(int argc, char** argv) {
 
   rng::Rng gen(seed);
   auto inst = matrix::planted_community(n, n, {0.5, 2}, gen);
+  // With --record, phase summaries get real discrepancy-vs-truth.
+  report.record_truth(inst.matrix);
   const auto D = inst.matrix.subset_diameter(inst.communities[0]);
 
   bool ok = true;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tmwia/obs/flight_recorder.hpp"
 #include "tmwia/obs/metrics.hpp"
 
 namespace tmwia::billboard {
@@ -23,6 +24,11 @@ const BoardMetrics& board_metrics() {
 
 void Billboard::post(const std::string& channel, matrix::PlayerId p, const bits::BitVector& v) {
   board_metrics().posts.inc();
+  // Vector content is logged as (hash, size) — enough for the replayer
+  // to distinguish posts without storing whole rows in the flight log.
+  if (auto* rec = obs::recorder()) {
+    rec->vector_post(static_cast<std::uint32_t>(p), channel, v.hash(), v.size());
+  }
   std::lock_guard<std::mutex> lk(mu_);
   channels_[channel].posts.insert_or_assign(p, v);
 }

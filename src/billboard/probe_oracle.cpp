@@ -1,6 +1,7 @@
 #include "tmwia/billboard/probe_oracle.hpp"
 
 #include "tmwia/billboard/protocol_auditor.hpp"
+#include "tmwia/obs/flight_recorder.hpp"
 #include "tmwia/obs/metrics.hpp"
 
 // Audit hooks compile to nothing when TMWIA_AUDIT is 0; with hooks
@@ -86,14 +87,17 @@ bool ProbeOracle::probe(PlayerId p, ObjectId o) {
     switch (injector_->on_probe_attempt(p)) {
       case faults::FaultInjector::Attempt::kCrashed:
         oracle_metrics().crashes.inc();
+        if (auto* rec = obs::recorder()) rec->crashed(p);
         throw faults::PlayerCrashedError(p);
-      case faults::FaultInjector::Attempt::kFail:
+      case faults::FaultInjector::Attempt::kFail: {
         // The probe was sent and the round spent; only the result is
         // lost, so the retry shows up in the invocation accounting.
-        invocations_[p].fetch_add(1, std::memory_order_relaxed);
+        const auto failed_inv = invocations_[p].fetch_add(1, std::memory_order_relaxed);
         TMWIA_AUDIT_HOOK(on_probe_attempt(p));
         oracle_metrics().failures.inc();
+        if (auto* rec = obs::recorder()) rec->probe_failed(p, o, failed_inv);
         throw faults::ProbeFailedError(p, o);
+      }
       case faults::FaultInjector::Attempt::kOk:
         break;
     }
@@ -107,6 +111,7 @@ bool ProbeOracle::probe(PlayerId p, ObjectId o) {
   const bool value = noisy_read(p, o, inv);
   values_[p].set(o, value);
   TMWIA_AUDIT_HOOK(on_probe(p, o));
+  if (auto* rec = obs::recorder()) rec->probe(p, o, value, inv);
   return value;
 }
 
@@ -136,6 +141,7 @@ bool ProbeOracle::probe_resilient(PlayerId p, ObjectId o) {
   if (!injector_->is_down(p)) {
     injector_->mark_degraded(p);
     oracle_metrics().degraded.inc();
+    if (auto* rec = obs::recorder()) rec->degraded(p);
   }
   injector_->note_fallback_read(p);
   oracle_metrics().fallback_reads.inc();

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "tmwia/billboard/protocol_auditor.hpp"
+#include "tmwia/obs/flight_recorder.hpp"
 #include "tmwia/obs/metrics.hpp"
 #include "tmwia/obs/trace.hpp"
 
@@ -50,6 +51,12 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
   const auto& metrics = scheduler_metrics();
   obs::Span span(obs::tracer(), "scheduler.run",
                  {{"players", strategies.size()}, {"max_rounds", max_rounds}});
+  auto* rec = obs::recorder();
+  const auto inv_before = oracle_->snapshot();
+  const auto total_before = oracle_->total_invocations();
+  if (rec != nullptr) {
+    rec->run_begin("scheduler", 0.0, oracle_->players(), oracle_->objects());
+  }
 
   ScheduleResult res;
   struct Pending {
@@ -65,6 +72,9 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
   std::vector<std::pair<PlayerId, PendingPost>> vector_posts;
   std::vector<DelayedPost> delayed;
   std::vector<std::uint8_t> threw(strategies.size(), 0);
+  // Previous round's down set, for crash/recover *transition* events
+  // (the injector exposes only the current state).
+  std::vector<std::uint8_t> was_down(strategies.size(), 0);
 
   for (std::size_t round = 0; round < max_rounds; ++round) {
 #if TMWIA_AUDIT
@@ -72,8 +82,26 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
     // round (probes, billboard reads, result posts).
     if (auditor != nullptr) auditor->begin_round(round);
 #endif
+    if (rec != nullptr) rec->round_begin(round);
     if (injector != nullptr) {
       injector->begin_round(round);
+      if (rec != nullptr || obs::tracer() != nullptr) {
+        for (PlayerId p = 0; p < strategies.size(); ++p) {
+          const bool down = injector->is_down(p);
+          if (down == (was_down[p] != 0)) continue;
+          const char* what = down ? "scheduler.crash" : "scheduler.recover";
+          if (auto* tr = obs::tracer()) {
+            tr->event(what, {{"round", static_cast<std::uint64_t>(round)},
+                             {"player", static_cast<std::uint64_t>(p)}});
+          }
+          if (rec != nullptr) {
+            rec->fault(down ? obs::RecorderEvent::Kind::kCrash
+                            : obs::RecorderEvent::Kind::kRecover,
+                       round, static_cast<std::uint32_t>(p));
+          }
+          was_down[p] = down ? 1 : 0;
+        }
+      }
       // Delayed posts come due: publish before the view is built, so
       // they are visible exactly `delay` rounds late.
       for (auto it = delayed.begin(); it != delayed.end();) {
@@ -142,11 +170,19 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
               injector->note_post_dropped();
               ++res.posts_dropped;
               metrics.posts_dropped.inc();
+              if (rec != nullptr) {
+                rec->fault(obs::RecorderEvent::Kind::kPostDropped, round,
+                           static_cast<std::uint32_t>(p));
+              }
               continue;
             }
             if (const auto delay = injector->delay_for_post(p); delay > 0) {
               ++res.posts_delayed;
               metrics.posts_delayed.inc();
+              if (rec != nullptr) {
+                rec->fault(obs::RecorderEvent::Kind::kPostDelayed, round,
+                           static_cast<std::uint32_t>(p), round + delay);
+              }
               delayed.push_back({round + static_cast<std::size_t>(delay), p, std::move(post)});
               continue;
             }
@@ -167,6 +203,7 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
 #if TMWIA_AUDIT
       if (auditor != nullptr) auditor->end_round();
 #endif
+      if (rec != nullptr) rec->round_end(round, 0, 0);
       break;
     }
     ++res.rounds;
@@ -178,6 +215,9 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
 #if TMWIA_AUDIT
       if (auditor != nullptr) auditor->on_post(p, o);
 #endif
+      if (rec != nullptr) {
+        rec->post(round, static_cast<std::uint32_t>(p), static_cast<std::uint32_t>(o));
+      }
     }
     for (auto& [p, post] : vector_posts) {
       board_.post(post.channel, p, post.vec);
@@ -185,6 +225,7 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
 #if TMWIA_AUDIT
     if (auditor != nullptr) auditor->end_round();
 #endif
+    if (rec != nullptr) rec->round_end(round, active_players, this_round.size());
   }
 
   // Never-published delayed posts should not vanish silently.
@@ -197,6 +238,12 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
       res.all_done = false;
       break;
     }
+  }
+  if (rec != nullptr) {
+    // Lockstep-equivalent totals (oracle deltas, not loop iterations),
+    // so `tmwia_cli replay` can verify them against the event stream.
+    rec->run_end("scheduler", oracle_->rounds_since(inv_before),
+                 oracle_->total_invocations() - total_before);
   }
   span.end({{"rounds", res.rounds}, {"all_done", res.all_done ? 1 : 0}});
   return res;

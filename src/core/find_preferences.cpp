@@ -10,6 +10,7 @@
 #include "tmwia/core/rselect.hpp"
 #include "tmwia/core/small_radius.hpp"
 #include "tmwia/engine/thread_pool.hpp"
+#include "tmwia/obs/flight_recorder.hpp"
 #include "tmwia/obs/trace.hpp"
 
 namespace tmwia::core {
@@ -48,6 +49,24 @@ void finalize_report(RunReport& res, const billboard::ProbeOracle& oracle) {
   reg.set_gauge("oracle.max_invocations",
                 static_cast<std::int64_t>(oracle.max_invocations()));
   res.metrics = reg.snapshot();
+}
+
+/// Append a timeline checkpoint to the report and, when a recorder is
+/// installed, emit the matching phase_summary record (whose evaluator
+/// — if the harness set one — supplies the discrepancy fields).
+void record_checkpoint(RunReport& res, obs::FlightRecorder* rec, std::string_view label,
+                       const std::vector<bits::BitVector>& outputs, std::uint64_t cum_rounds,
+                       std::uint64_t cum_probes) {
+  PhaseCheckpoint cp;
+  cp.label = std::string(label);
+  cp.rounds = cum_rounds;
+  cp.total_probes = cum_probes;
+  if (rec != nullptr) {
+    const auto eval = rec->phase_summary(label, outputs, cum_rounds, cum_probes);
+    cp.max_disc = eval.max_disc;
+    cp.mean_disc = eval.mean_disc;
+  }
+  res.timeline.push_back(std::move(cp));
 }
 
 /// Orphan adoption, top level: players whose committee/candidate set
@@ -126,29 +145,39 @@ RunReport find_preferences(billboard::ProbeOracle& oracle, billboard::Billboard*
   static const auto c_small = obs::MetricsRegistry::global().counter("core.fp.branch.small");
   static const auto c_large = obs::MetricsRegistry::global().counter("core.fp.branch.large");
 
-  if (D == 0) {
-    res.branch = Branch::kZeroRadius;
-    c_zero.inc();
-    res.outputs = zero_radius_bits(oracle, board, players, objects, alpha, params,
-                                   rng.split(0x2e20), "main/zr");
-  } else if (D <= small_cutoff) {
-    res.branch = Branch::kSmallRadius;
-    c_small.inc();
-    res.outputs = small_radius(oracle, board, players, objects, alpha, D, params,
-                               rng.split(0x57a11), players.size())
-                      .outputs;
-  } else {
-    res.branch = Branch::kLargeRadius;
-    c_large.inc();
-    res.outputs =
-        large_radius(oracle, board, players, objects, alpha, D, params, rng.split(0x1a26e))
-            .outputs;
+  res.branch = D == 0              ? Branch::kZeroRadius
+               : D <= small_cutoff ? Branch::kSmallRadius
+                                   : Branch::kLargeRadius;
+  const std::string phase_label = std::string("fp:") + branch_name(res.branch);
+  auto* rec = obs::recorder();
+  if (rec != nullptr) rec->run_begin(phase_label, alpha, players.size(), objects.size(), D);
+
+  switch (res.branch) {
+    case Branch::kZeroRadius:
+      c_zero.inc();
+      res.outputs = zero_radius_bits(oracle, board, players, objects, alpha, params,
+                                     rng.split(0x2e20), "main/zr");
+      break;
+    case Branch::kSmallRadius:
+      c_small.inc();
+      res.outputs = small_radius(oracle, board, players, objects, alpha, D, params,
+                                 rng.split(0x57a11), players.size())
+                        .outputs;
+      break;
+    case Branch::kLargeRadius:
+      c_large.inc();
+      res.outputs =
+          large_radius(oracle, board, players, objects, alpha, D, params, rng.split(0x1a26e))
+              .outputs;
+      break;
   }
 
   rescue_orphans(oracle, res.outputs, players, params, rng.split(0x0E5C));
 
   res.rounds = oracle.rounds_since(before);
   res.total_probes = oracle.total_invocations() - probes_before;
+  record_checkpoint(res, rec, phase_label, res.outputs, res.rounds, res.total_probes);
+  if (rec != nullptr) rec->run_end(phase_label, res.rounds, res.total_probes);
   finalize_report(res, oracle);
   span.end({{"branch", branch_name(res.branch)},
             {"rounds", res.rounds},
@@ -166,6 +195,8 @@ RunReport find_preferences_unknown_d(billboard::ProbeOracle& oracle,
   const auto probes_before = oracle.total_invocations();
 
   obs::Span span(obs::tracer(), "find_preferences_unknown_d", {{"alpha", alpha}});
+  auto* rec = obs::recorder();
+  if (rec != nullptr) rec->run_begin("unknown_d", alpha, players.size(), objects.size());
 
   RunReport res;
   res.algo = RunReport::Algo::kUnknownD;
@@ -193,6 +224,9 @@ RunReport find_preferences_unknown_d(billboard::ProbeOracle& oracle,
                                    {"probes", guess_probes},
                                    {"cum_rounds", oracle.rounds_since(before)}});
     }
+    record_checkpoint(res, rec, "guess:d=" + std::to_string(res.guesses[gi]), versions.back(),
+                      oracle.rounds_since(before),
+                      oracle.total_invocations() - probes_before);
   }
 
   res.outputs.assign(players.size(), bits::BitVector(m));
@@ -232,6 +266,8 @@ RunReport find_preferences_unknown_d(billboard::ProbeOracle& oracle,
 
   res.rounds = oracle.rounds_since(before);
   res.total_probes = oracle.total_invocations() - probes_before;
+  record_checkpoint(res, rec, "select", res.outputs, res.rounds, res.total_probes);
+  if (rec != nullptr) rec->run_end("unknown_d", res.rounds, res.total_probes);
   finalize_report(res, oracle);
   span.end({{"guesses", res.guesses.size()},
             {"rounds", res.rounds},
@@ -247,6 +283,8 @@ RunReport anytime(billboard::ProbeOracle& oracle, billboard::Billboard* board,
   const auto probes_before = oracle.total_invocations();
 
   obs::Span span(obs::tracer(), "anytime", {{"round_budget", round_budget}});
+  auto* rec = obs::recorder();
+  if (rec != nullptr) rec->run_begin("anytime", 1.0, players.size(), objects.size());
 
   RunReport res;
   res.algo = RunReport::Algo::kAnytime;
@@ -285,11 +323,14 @@ RunReport anytime(billboard::ProbeOracle& oracle, billboard::Billboard* board,
                                  {"cum_rounds", res.phases.back().rounds},
                                  {"cum_probes", res.phases.back().total_probes}});
     }
+    record_checkpoint(res, rec, "phase:" + std::to_string(phase), res.outputs,
+                      res.phases.back().rounds, res.phases.back().total_probes);
     if (oracle.rounds_since(before) >= round_budget) break;
   }
 
   res.rounds = oracle.rounds_since(before);
   res.total_probes = oracle.total_invocations() - probes_before;
+  if (rec != nullptr) rec->run_end("anytime", res.rounds, res.total_probes);
   finalize_report(res, oracle);
   span.end({{"phases", res.phases.size()},
             {"rounds", res.rounds},

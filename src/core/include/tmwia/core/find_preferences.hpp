@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "tmwia/billboard/billboard.hpp"
@@ -39,6 +40,19 @@ struct AnytimePhase {
   double alpha = 1.0;
   std::uint64_t rounds = 0;        ///< cumulative rounds after this phase
   std::uint64_t total_probes = 0;  ///< cumulative probes after this phase
+};
+
+/// One entry of the run timeline: a phase boundary of the algorithm
+/// tower with cumulative cost and — when a FlightRecorder with an
+/// output evaluator was installed — output quality at that point.
+/// Discrepancies are -1 when unknown (no recorder/evaluator): the
+/// library never sees the planted matrix itself.
+struct PhaseCheckpoint {
+  std::string label;               ///< e.g. "fp:zero", "guess:d=4", "phase:2"
+  std::uint64_t rounds = 0;        ///< cumulative rounds at the checkpoint
+  std::uint64_t total_probes = 0;  ///< cumulative probes at the checkpoint
+  double max_disc = -1.0;          ///< max Hamming distance to truth
+  double mean_disc = -1.0;         ///< mean Hamming distance to truth
 };
 
 /// Unified result of every core entry point. The common fields
@@ -69,7 +83,16 @@ struct RunReport {
   std::vector<std::size_t> guesses;     ///< kUnknownD: guesses run (0, 1, 2, 4, ...)
   std::vector<AnytimePhase> phases;     ///< kAnytime: cumulative checkpoints
 
+  /// Per-phase timeline of the run (every entry point fills it; the
+  /// disc fields need an installed FlightRecorder evaluator).
+  std::vector<PhaseCheckpoint> timeline;
+
   obs::Snapshot metrics;  ///< global-registry snapshot when enabled
+
+  /// One-line JSON object with the scalar results, the timeline, and
+  /// the variant detail (chosen_d/guesses/phases). Outputs and the
+  /// metrics snapshot are *not* embedded — they have their own sinks.
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// Pre-RunReport result names, kept one release so downstream code

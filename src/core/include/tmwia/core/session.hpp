@@ -32,9 +32,17 @@
 #include "tmwia/core/find_preferences.hpp"
 #include "tmwia/core/params.hpp"
 #include "tmwia/faults/fault_injector.hpp"
+#include "tmwia/obs/flight_recorder.hpp"
 #include "tmwia/obs/trace.hpp"
 
 namespace tmwia {
+
+/// Evaluator for FlightRecorder::phase_summary closing over the hidden
+/// truth: max/mean Hamming distance of the phase outputs to the planted
+/// rows. Harness-side only — the algorithms never see the matrix, only
+/// this opaque std::function. `truth` must outlive the recorder.
+obs::FlightRecorder::OutputEvaluator make_truth_evaluator(
+    const matrix::PreferenceMatrix& truth);
 
 class Session {
  public:
@@ -65,6 +73,11 @@ class Session {
   Session& metrics_sink(std::string path);
   /// Stream trace JSONL (deterministic logical clock) here.
   Session& trace_sink(std::string path);
+  /// Stream the flight-recorder event log here (see
+  /// obs::FlightRecorder). The session installs a truth-closing output
+  /// evaluator, so phase_summary records carry max/mean discrepancy.
+  Session& record_sink(std::string path,
+                       obs::RecordFormat format = obs::RecordFormat::kJsonl);
 
   /// Theorem 1.1: known alpha, unknown D.
   core::RunReport run();
@@ -92,6 +105,8 @@ class Session {
   std::optional<faults::FaultPlan> fault_plan_;
   std::string metrics_path_;
   std::string trace_path_;
+  std::string record_path_;
+  obs::RecordFormat record_format_ = obs::RecordFormat::kJsonl;
 
   bool built_ = false;
   std::uint64_t run_index_ = 0;
@@ -100,6 +115,8 @@ class Session {
   std::unique_ptr<faults::FaultInjector> injector_;
   struct TraceSink;
   std::unique_ptr<TraceSink> trace_;
+  struct RecordSink;
+  std::unique_ptr<RecordSink> record_;
 };
 
 }  // namespace tmwia

@@ -36,6 +36,7 @@
 #include "tmwia/core/params.hpp"
 #include "tmwia/engine/thread_pool.hpp"
 #include "tmwia/matrix/ids.hpp"
+#include "tmwia/obs/flight_recorder.hpp"
 #include "tmwia/rng/partition.hpp"
 #include "tmwia/rng/rng.hpp"
 
@@ -359,6 +360,12 @@ struct ZeroRadiusRun {
     if (candidates.empty() && !votable.empty() && space_faults_active(space)) {
       candidates = top_vectors(votable, params.ft_orphan_candidates);
       orphan_fallback = true;
+    }
+    // Community-size record per adoption vote — also a serial drain
+    // point for the recorder's staged per-player probe events, keeping
+    // staged memory bounded by one recursion node's worth of probes.
+    if (auto* rec = obs::recorder()) {
+      rec->note("zr.adopt", kept, candidates.size());
     }
     if (candidates.empty()) {
       // No surviving post at all: adopters keep defaults for this half.

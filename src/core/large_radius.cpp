@@ -9,6 +9,7 @@
 #include "tmwia/core/small_radius.hpp"
 #include "tmwia/core/zero_radius.hpp"
 #include "tmwia/engine/thread_pool.hpp"
+#include "tmwia/obs/flight_recorder.hpp"
 #include "tmwia/rng/partition.hpp"
 
 namespace tmwia::core {
@@ -152,6 +153,10 @@ LargeRadiusResult large_radius(billboard::ProbeOracle& oracle, billboard::Billbo
                                               static_cast<double>(surviving.size()))));
     auto co = coalesce(surviving, coalesce_D, min_ball, params.co_merge_mult);
     res.max_candidates = std::max(res.max_candidates, co.candidates.size());
+    // Per-group coalesce record; serial drain point for the recorder.
+    if (auto* rec = obs::recorder()) {
+      rec->note("lr.group", surviving.size(), co.candidates.size());
+    }
     group_candidates[l] = std::move(co.candidates);
   }
 

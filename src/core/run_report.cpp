@@ -1,0 +1,123 @@
+#include "tmwia/core/find_preferences.hpp"
+
+#include <cstdio>
+
+namespace tmwia::core {
+namespace {
+
+const char* algo_name(RunReport::Algo a) {
+  switch (a) {
+    case RunReport::Algo::kFixedD: return "fixed_d";
+    case RunReport::Algo::kUnknownD: return "unknown_d";
+    case RunReport::Algo::kAnytime: return "anytime";
+  }
+  return "?";
+}
+
+const char* branch_json_name(Branch b) {
+  switch (b) {
+    case Branch::kZeroRadius: return "zero";
+    case Branch::kSmallRadius: return "small";
+    case Branch::kLargeRadius: return "large";
+  }
+  return "?";
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_f64(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string RunReport::to_json() const {
+  std::string out = "{\"algo\":\"";
+  out += algo_name(algo);
+  out += "\",\"players\":";
+  out += std::to_string(outputs.size());
+  out += ",\"rounds\":";
+  out += std::to_string(rounds);
+  out += ",\"total_probes\":";
+  out += std::to_string(total_probes);
+  switch (algo) {
+    case Algo::kFixedD:
+      out += ",\"branch\":\"";
+      out += branch_json_name(branch);
+      out.push_back('"');
+      break;
+    case Algo::kUnknownD: {
+      out += ",\"guesses\":[";
+      for (std::size_t i = 0; i < guesses.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        out += std::to_string(guesses[i]);
+      }
+      out += "],\"chosen_d\":[";
+      for (std::size_t i = 0; i < chosen_d.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        out += std::to_string(chosen_d[i]);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Algo::kAnytime: {
+      out += ",\"phases\":[";
+      for (std::size_t i = 0; i < phases.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        out += "{\"alpha\":";
+        append_f64(out, phases[i].alpha);
+        out += ",\"rounds\":";
+        out += std::to_string(phases[i].rounds);
+        out += ",\"total_probes\":";
+        out += std::to_string(phases[i].total_probes);
+        out.push_back('}');
+      }
+      out.push_back(']');
+      break;
+    }
+  }
+  out += ",\"timeline\":[";
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const auto& cp = timeline[i];
+    if (i != 0) out.push_back(',');
+    out += "{\"label\":";
+    append_json_string(out, cp.label);
+    out += ",\"rounds\":";
+    out += std::to_string(cp.rounds);
+    out += ",\"total_probes\":";
+    out += std::to_string(cp.total_probes);
+    if (cp.max_disc >= 0.0) {
+      out += ",\"max_disc\":";
+      append_f64(out, cp.max_disc);
+      out += ",\"mean_disc\":";
+      append_f64(out, cp.mean_disc);
+    }
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace tmwia::core

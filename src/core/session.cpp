@@ -1,6 +1,8 @@
 // tmwia-lint: allow-file(matrix-read-in-strategy) harness side: see session.hpp.
+// tmwia-lint: allow-file(sink-registration) Session is a sink owner: it installs the artifact sinks the config asks for.
 #include "tmwia/core/session.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <stdexcept>
 
@@ -9,6 +11,25 @@
 #include "tmwia/rng/rng.hpp"
 
 namespace tmwia {
+
+obs::FlightRecorder::OutputEvaluator make_truth_evaluator(
+    const matrix::PreferenceMatrix& truth) {
+  return [&truth](const std::vector<bits::BitVector>& outputs) {
+    obs::FlightRecorder::PhaseEval eval;
+    const std::size_t n = std::min(outputs.size(), truth.players());
+    if (n == 0) return eval;
+    std::uint64_t worst = 0;
+    std::uint64_t total = 0;
+    for (std::size_t p = 0; p < n; ++p) {
+      const auto d = static_cast<std::uint64_t>(outputs[p].hamming(truth.row(p)));
+      worst = std::max(worst, d);
+      total += d;
+    }
+    eval.max_disc = static_cast<double>(worst);
+    eval.mean_disc = static_cast<double>(total) / static_cast<double>(n);
+    return eval;
+  };
+}
 
 /// Owns the trace output stream and the Tracer writing to it, and is
 /// responsible for installing/uninstalling the process-global tracer
@@ -25,6 +46,29 @@ struct Session::TraceSink {
   ~TraceSink() {
     if (obs::tracer() == tracer.get()) obs::set_tracer(nullptr);
     tracer->flush();
+  }
+};
+
+/// Same ownership pattern for the flight recorder: stream + recorder +
+/// the process-global obs::recorder() slot, with the truth-closing
+/// output evaluator installed so phase summaries carry discrepancy.
+struct Session::RecordSink {
+  std::ofstream out;
+  std::unique_ptr<obs::FlightRecorder> recorder;
+
+  RecordSink(const std::string& path, obs::RecordFormat format,
+             const matrix::PreferenceMatrix& truth)
+      : out(path, format == obs::RecordFormat::kBinary
+                      ? std::ios::out | std::ios::binary
+                      : std::ios::out) {
+    if (!out) throw std::runtime_error("Session: cannot open record sink '" + path + "'");
+    recorder = std::make_unique<obs::FlightRecorder>(out, format);
+    recorder->set_output_evaluator(make_truth_evaluator(truth));
+    obs::set_recorder(recorder.get());
+  }
+  ~RecordSink() {
+    if (obs::recorder() == recorder.get()) obs::set_recorder(nullptr);
+    recorder->flush();
   }
 };
 
@@ -92,6 +136,13 @@ Session& Session::trace_sink(std::string path) {
   return *this;
 }
 
+Session& Session::record_sink(std::string path, obs::RecordFormat format) {
+  require_unbuilt("record_sink");
+  record_path_ = std::move(path);
+  record_format_ = format;
+  return *this;
+}
+
 void Session::build() {
   if (built_) return;
   built_ = true;
@@ -103,6 +154,9 @@ void Session::build() {
   }
   if (!metrics_path_.empty()) obs::MetricsRegistry::global().set_enabled(true);
   if (!trace_path_.empty()) trace_ = std::make_unique<TraceSink>(trace_path_);
+  if (!record_path_.empty()) {
+    record_ = std::make_unique<RecordSink>(record_path_, record_format_, *truth_);
+  }
 }
 
 core::RunReport Session::finish(core::RunReport report) {
@@ -114,6 +168,7 @@ core::RunReport Session::finish(core::RunReport report) {
     out << report.metrics.to_json() << '\n';
   }
   if (trace_ != nullptr) trace_->tracer->flush();
+  if (record_ != nullptr) record_->recorder->flush();
   ++run_index_;
   return report;
 }

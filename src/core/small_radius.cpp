@@ -7,6 +7,7 @@
 #include "tmwia/core/bit_space.hpp"
 #include "tmwia/core/select.hpp"
 #include "tmwia/engine/thread_pool.hpp"
+#include "tmwia/obs/flight_recorder.hpp"
 #include "tmwia/rng/partition.hpp"
 
 namespace tmwia::core {
@@ -85,6 +86,10 @@ SmallRadiusResult small_radius(billboard::ProbeOracle& oracle, billboard::Billbo
       std::vector<bits::BitVector> candidates;
       candidates.reserve(voted.size());
       for (const auto& vv : voted) candidates.push_back(vv.vec);
+      // Per-part community size; serial drain point for the recorder.
+      if (auto* rec = obs::recorder()) {
+        rec->note("sr.part", votable.size(), candidates.size());
+      }
 
       // Step 1c: each player adopts the closest popular vector within
       // distance D (falling back to its own Zero Radius output when no

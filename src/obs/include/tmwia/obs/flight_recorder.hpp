@@ -1,0 +1,240 @@
+// FlightRecorder: an event-sourced record of one run, deterministic
+// enough to replay.
+//
+// The billboard model is temporal — one probe per player per lockstep
+// round, quality only meaningful per phase — so the recorder captures
+// the run as an ordered event stream: run/phase transitions of the
+// Zero/Small/Large-Radius tower, scheduler rounds, every probe
+// (player, object, result, invocation), result and vector posts, fault
+// events, and per-phase summary records (cumulative cost plus max/mean
+// discrepancy against the planted matrix when the harness installs an
+// output evaluator — the library itself never sees the truth).
+//
+// Determinism contract (the same one MetricsRegistry and Tracer obey):
+// records carry a per-recorder *logical clock*, never wall time, and
+// the stream for a fixed seed and fault plan is byte-identical across
+// `--threads`. Parallel player code cannot write to the sink directly
+// — per-probe events are staged in per-player owner-write buffers
+// (exactly the MetricsRegistry shard discipline: player p's events are
+// appended only by the thread running player p) and drained in player
+// order at the next *serial* emission (a phase boundary, a scheduler
+// round, run end). Serial emissions therefore double as barriers; they
+// must only be issued from serial code with no staged writers in
+// flight, which the parallel_for join points guarantee.
+//
+// Memory is bounded: each player's stage holds at most `stage_cap`
+// events; beyond that events are dropped and surfaced as an explicit
+// `overflow` record at the next drain, so a truncated log says so
+// instead of silently lying.
+//
+// Disabled recording is one relaxed atomic load per instrumented site
+// (the process-global recorder slot, mirroring obs::tracer()), so the
+// hooks stay compiled in everywhere at ~zero cost — the same fast-path
+// budget the metrics layer is held to (bench/e11).
+//
+// Two wire formats behind one writer: JSONL (one object per record,
+// fixed key order, jq-able) and a compact binary framing (magic
+// "TMWIAFR1", then [kind u8][field mask u8][t u64][present fields]).
+// read_recorder_log() sniffs the magic and parses either.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tmwia/bits/bitvector.hpp"
+
+namespace tmwia::obs {
+
+enum class RecordFormat : std::uint8_t { kJsonl, kBinary };
+
+/// One record of the flight log. Which fields are meaningful is
+/// per-kind (see DESIGN.md section 10); `mask` says which are present.
+struct RecorderEvent {
+  enum class Kind : std::uint8_t {
+    kRunBegin = 1,   ///< label=algo, x=alpha, a=players, b=objects
+    kRunEnd = 2,     ///< label=algo, a=rounds, b=total probes (run deltas)
+    kPhaseBegin = 3, ///< nested entry point: label=algo/branch, x=alpha, a=D
+    kPhaseEnd = 4,   ///< label, a=rounds in phase, b=probes in phase
+    kPhaseSummary = 5, ///< label, p=players, a=cum rounds, b=cum probes,
+                       ///< x=max disc, y=mean disc (when evaluator set)
+    kRoundBegin = 6, ///< round (scheduler lockstep)
+    kRoundEnd = 7,   ///< round, a=active players, b=result posts
+    kProbe = 8,      ///< p, o, a=value(0/1), b=invocation index
+    kProbeFailed = 9,  ///< p, o, b=invocation index (charged, result lost)
+    kPost = 10,        ///< round, p, o — result published at round end
+    kVectorPost = 11,  ///< p, label=channel, a=vector hash, b=vector bits
+    kCrash = 12,       ///< p (+round in scheduler mode)
+    kRecover = 13,     ///< p, round
+    kPostDropped = 14, ///< p, round
+    kPostDelayed = 15, ///< p, round, a=due round
+    kDegraded = 16,    ///< p abandoned probing (retry exhaustion)
+    kOverflow = 17,    ///< p, a=events dropped since last drain
+    kNote = 18,        ///< label, a, b — serial progress marks (drain points)
+  };
+
+  static constexpr std::uint8_t kHasRound = 1;
+  static constexpr std::uint8_t kHasPlayer = 2;
+  static constexpr std::uint8_t kHasObject = 4;
+  static constexpr std::uint8_t kHasA = 8;
+  static constexpr std::uint8_t kHasB = 16;
+  static constexpr std::uint8_t kHasX = 32;
+  static constexpr std::uint8_t kHasY = 64;
+  static constexpr std::uint8_t kHasLabel = 128;
+
+  Kind kind = Kind::kNote;
+  std::uint8_t mask = 0;
+  std::uint64_t t = 0;  ///< logical clock, assigned at emission
+  std::uint64_t round = 0;
+  std::uint32_t player = 0;
+  std::uint32_t object = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  double x = 0.0;
+  double y = 0.0;
+  std::string label;
+
+  [[nodiscard]] bool has(std::uint8_t bit) const { return (mask & bit) != 0; }
+};
+
+/// Stable wire name of an event kind ("probe", "run_begin", ...).
+[[nodiscard]] const char* to_string(RecorderEvent::Kind kind);
+/// Inverse of to_string; nullopt for unknown names.
+[[nodiscard]] std::optional<RecorderEvent::Kind> kind_from_string(std::string_view name);
+
+class FlightRecorder {
+ public:
+  /// Quality of a phase's outputs against truth only the harness holds.
+  /// Distances are Hamming distances to the hidden preference rows.
+  struct PhaseEval {
+    double max_disc = -1.0;   ///< -1: no evaluator installed
+    double mean_disc = -1.0;
+  };
+  using OutputEvaluator = std::function<PhaseEval(const std::vector<bits::BitVector>&)>;
+
+  /// Writes records to `out` (which must outlive the recorder; open
+  /// binary-mode streams for RecordFormat::kBinary). `stage_cap` bounds
+  /// each player's staged-event buffer.
+  explicit FlightRecorder(std::ostream& out, RecordFormat format = RecordFormat::kJsonl,
+                          std::size_t stage_cap = std::size_t{1} << 16);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Install the harness-side output evaluator used by phase_summary.
+  /// The evaluator closes over the planted matrix; the recorder (and
+  /// the library code calling it) only ever sees the std::function.
+  void set_output_evaluator(OutputEvaluator fn) { evaluator_ = std::move(fn); }
+
+  // ---- serial emission (phase boundaries, scheduler rounds) --------
+  // Every serial emission first drains the staged per-player events in
+  // player order — that drain is what makes the stream --threads
+  // invariant. Only call from serial code (no staged writers in
+  // flight).
+
+  /// Enter a run scope. The outermost scope emits run_begin and sizes
+  /// the per-player stages; nested entry points (unknown_d's per-guess
+  /// find_preferences, anytime's unknown_d phases) emit phase_begin —
+  /// the phase-transition trail of the algorithm tower.
+  void run_begin(std::string_view label, double alpha, std::size_t players,
+                 std::size_t objects, std::uint64_t d = 0);
+  /// Leave a run scope; rounds/probes are the scope's own deltas.
+  void run_end(std::string_view label, std::uint64_t rounds, std::uint64_t probes);
+
+  /// Per-phase summary record: cumulative cost plus output quality via
+  /// the installed evaluator (disc fields stay -1 without one).
+  /// Returns the evaluation so callers can reuse it (RunReport
+  /// timeline) without paying for a second pass.
+  PhaseEval phase_summary(std::string_view label, const std::vector<bits::BitVector>& outputs,
+                          std::uint64_t cum_rounds, std::uint64_t cum_probes);
+
+  void round_begin(std::uint64_t round);
+  void round_end(std::uint64_t round, std::uint64_t active_players, std::uint64_t posts);
+  /// Result (p, o) published on the billboard at the end of `round`.
+  void post(std::uint64_t round, std::uint32_t player, std::uint32_t object);
+  /// Scheduler-observed fault transition (kCrash/kRecover/kPostDropped/
+  /// kPostDelayed), stamped with the lockstep round.
+  void fault(RecorderEvent::Kind kind, std::uint64_t round, std::uint32_t player,
+             std::uint64_t a = 0);
+  /// Serial progress mark (zero-radius adopt steps etc.) — also a
+  /// drain point for the staged buffers.
+  void note(std::string_view label, std::uint64_t a, std::uint64_t b);
+
+  // ---- parallel-safe staging (owner-write per player) --------------
+
+  void probe(std::uint32_t player, std::uint32_t object, bool value,
+             std::uint64_t invocation);
+  void probe_failed(std::uint32_t player, std::uint32_t object, std::uint64_t invocation);
+  void crashed(std::uint32_t player);
+  void degraded(std::uint32_t player);
+  void vector_post(std::uint32_t player, std::string_view channel, std::uint64_t vec_hash,
+                   std::uint64_t vec_bits);
+
+  /// Drain any remaining staged events and flush the sink.
+  void flush();
+
+  [[nodiscard]] std::uint64_t events_written() const {
+    return written_.load(std::memory_order_relaxed);
+  }
+  /// Events lost to stage caps or emitted before the first run_begin.
+  [[nodiscard]] std::uint64_t events_dropped() const {
+    return dropped_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Staged {
+    RecorderEvent::Kind kind;
+    std::uint32_t object = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::string label;  ///< vector_post channel only
+  };
+  struct Stage {
+    std::vector<Staged> events;
+    std::uint64_t dropped = 0;
+  };
+
+  void stage(std::uint32_t player, Staged ev);
+  void drain_locked();
+  void write_locked(RecorderEvent& ev);
+  void emit_serial(RecorderEvent ev);
+
+  std::ostream& out_;
+  RecordFormat format_;
+  std::size_t stage_cap_;
+  OutputEvaluator evaluator_;
+
+  std::mutex mu_;  ///< serializes serial emissions + the sink
+  std::uint64_t clock_ = 0;
+  std::size_t depth_ = 0;  ///< run-scope nesting
+  std::vector<Stage> stages_;
+  std::atomic<std::uint64_t> written_{0};
+  std::atomic<std::uint64_t> dropped_total_{0};
+  std::atomic<std::uint64_t> unstaged_dropped_{0};  ///< events before run_begin
+};
+
+/// Process-global recorder used by the library's built-in record
+/// points. Null (recording off) until a sink installs one; reading it
+/// is one relaxed atomic load. The caller keeps ownership and must
+/// clear it (set_recorder(nullptr)) before the recorder dies.
+FlightRecorder* recorder();
+void set_recorder(FlightRecorder* r);
+
+/// A parsed flight log (either wire format).
+struct RecorderLog {
+  std::vector<RecorderEvent> events;
+  RecordFormat format = RecordFormat::kJsonl;
+};
+
+/// Parse a recorder stream, sniffing the binary magic. Throws
+/// std::runtime_error on malformed input.
+RecorderLog read_recorder_log(std::istream& in);
+
+}  // namespace tmwia::obs

@@ -46,6 +46,15 @@ struct HistogramData {
   std::uint64_t sum = 0;
   std::uint64_t count = 0;
   bool operator==(const HistogramData&) const = default;
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation within
+  /// the fixed buckets: observations in bucket i are assumed uniform
+  /// over (lower edge, bounds[i]]. The overflow bucket has no upper
+  /// edge, so estimates falling there clamp to bounds.back() — a
+  /// deliberate *under*-estimate that a reader can detect by comparing
+  /// against the overflow bucket count. Returns 0 for an empty
+  /// histogram.
+  [[nodiscard]] double percentile(double q) const;
 };
 
 /// A point-in-time merged view of a registry. std::map keeps names

@@ -43,6 +43,12 @@ void append_json_string(std::string& out, std::string_view s) {
 
 void append_u64(std::string& out, std::uint64_t v) { out += std::to_string(v); }
 
+void append_f64(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -231,6 +237,29 @@ MetricsRegistry& MetricsRegistry::global() {
 // ---------------------------------------------------------------------------
 // Snapshot
 
+double HistogramData::percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double prev = static_cast<double>(cum);
+    cum += buckets[i];
+    if (static_cast<double>(cum) < target) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket: unbounded above, clamp to the last edge.
+      return static_cast<double>(bounds.back());
+    }
+    const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    const double upper = static_cast<double>(bounds[i]);
+    const double frac = (target - prev) / static_cast<double>(buckets[i]);
+    return lower + (upper - lower) * frac;
+  }
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
 std::uint64_t Snapshot::counter(const std::string& name) const {
   const auto it = counters.find(name);
   return it == counters.end() ? 0 : it->second;
@@ -280,6 +309,12 @@ std::string Snapshot::to_json() const {
     append_u64(out, h.sum);
     out += ",\"count\":";
     append_u64(out, h.count);
+    out += ",\"p50\":";
+    append_f64(out, h.percentile(0.50));
+    out += ",\"p95\":";
+    append_f64(out, h.percentile(0.95));
+    out += ",\"p99\":";
+    append_f64(out, h.percentile(0.99));
     out.push_back('}');
   }
   out += "}}";

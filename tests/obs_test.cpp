@@ -1,3 +1,4 @@
+// tmwia-lint: allow-file(sink-registration) obs unit tests construct the sinks under test.
 // Tests for the observability layer (src/obs): counter/gauge/histogram
 // correctness, the per-thread shard merge (same totals and identical
 // snapshot bytes regardless of writer-thread count), trace JSONL shape,
@@ -5,12 +6,16 @@
 // and fault plan.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/billboard/round_scheduler.hpp"
 #include "tmwia/core/find_preferences.hpp"
 #include "tmwia/core/params.hpp"
 #include "tmwia/faults/fault_injector.hpp"
@@ -151,10 +156,61 @@ TEST(Metrics, SnapshotJsonShape) {
   reg.counter("b").inc();
   reg.set_gauge("a", -1);
   reg.histogram("h", {2, 4}).observe(3);
+  // The percentile fields are %.17g-rendered doubles; build the
+  // expected substrings the same way instead of hardcoding them.
+  const auto snap = reg.snapshot();
+  const auto& hd = snap.histograms.at("h");
+  char pcts[128];
+  std::snprintf(pcts, sizeof pcts, ",\"p50\":%.17g,\"p95\":%.17g,\"p99\":%.17g",
+                hd.percentile(0.50), hd.percentile(0.95), hd.percentile(0.99));
   EXPECT_EQ(reg.snapshot().to_json(),
-            "{\"counters\":{\"b\":1},\"gauges\":{\"a\":-1},"
-            "\"histograms\":{\"h\":{\"bounds\":[2,4],\"buckets\":[0,1,0],"
-            "\"sum\":3,\"count\":1}}}");
+            std::string("{\"counters\":{\"b\":1},\"gauges\":{\"a\":-1},"
+                        "\"histograms\":{\"h\":{\"bounds\":[2,4],\"buckets\":[0,1,0],"
+                        "\"sum\":3,\"count\":1") +
+                pcts + "}}}");
+}
+
+/// Percentile estimation: linear interpolation within a bucket, using
+/// the bucket's lower edge (previous bound, or 0) and upper edge.
+TEST(Metrics, HistogramPercentiles) {
+  obs::HistogramData h;
+  h.bounds = {10, 20, 40};
+  h.buckets = {10, 10, 0, 0};  // 20 observations, none in overflow
+  h.count = 20;
+  // p50 sits exactly at the top of the first bucket.
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 10.0);
+  // p75: rank 15 is 5 observations into the (10, 20] bucket of 10.
+  EXPECT_DOUBLE_EQ(h.percentile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 20.0);
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(h.percentile(1.5), 20.0);
+  // Empty histogram reports 0.
+  obs::HistogramData empty;
+  empty.bounds = {1, 2};
+  empty.buckets = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(empty.percentile(0.99), 0.0);
+}
+
+/// Overflow-bucket edge case: the last bucket has no upper edge, so
+/// any percentile landing there clamps to bounds.back() rather than
+/// extrapolating into unbounded territory.
+TEST(Metrics, HistogramPercentileOverflowClamps) {
+  obs::HistogramData h;
+  h.bounds = {10, 20};
+  h.buckets = {2, 2, 16};  // 80% of mass in the overflow bucket
+  h.count = 20;
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 20.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 20.0);
+  // Percentiles below the overflow mass still interpolate normally.
+  EXPECT_DOUBLE_EQ(h.percentile(0.10), 10.0);
+  // All mass in overflow: every percentile clamps.
+  obs::HistogramData all_over;
+  all_over.bounds = {5};
+  all_over.buckets = {0, 7};
+  all_over.count = 7;
+  EXPECT_DOUBLE_EQ(all_over.percentile(0.01), 5.0);
+  EXPECT_DOUBLE_EQ(all_over.percentile(0.99), 5.0);
 }
 
 TEST(Trace, JsonlShapeAndLogicalClock) {
@@ -187,6 +243,62 @@ TEST(Trace, RaiiSpanClosesOnScopeExit) {
   const auto text = out.str();
   EXPECT_NE(text.find("\"kind\":\"begin\""), std::string::npos);
   EXPECT_NE(text.find("\"kind\":\"end\""), std::string::npos);
+}
+
+/// The scheduler turns the injector's crash windows into trace *events*
+/// at the transition rounds: one "scheduler.crash" when the player goes
+/// down, one "scheduler.recover" when it comes back.
+TEST(Trace, SchedulerEmitsCrashAndRecoverEvents) {
+  // Probes objects 0..m-1 in order, one per round, done after m results.
+  class Sweep final : public billboard::PlayerStrategy {
+   public:
+    explicit Sweep(std::size_t m) : m_(m) {}
+    std::optional<matrix::ObjectId> next_probe(const billboard::RoundView&) override {
+      if (next_ >= m_) return std::nullopt;
+      return static_cast<matrix::ObjectId>(next_);
+    }
+    void on_result(matrix::ObjectId, bool) override { ++next_; }
+    [[nodiscard]] bool done() const override { return next_ >= m_; }
+
+   private:
+    std::size_t m_;
+    std::size_t next_ = 0;
+  };
+
+  rng::Rng gen(23);
+  const auto inst = matrix::planted_community(6, 10, {0.5, 1}, gen);
+  faults::FaultPlan plan;
+  plan.explicit_crashes = {{2, {3, 6}}};  // player 2 down for rounds [3, 6)
+  billboard::ProbeOracle oracle(inst.matrix);
+  faults::FaultInjector injector(plan, inst.matrix.players());
+  oracle.set_fault_injector(&injector);
+
+  std::ostringstream out;
+  obs::Tracer tracer(out);
+  obs::set_tracer(&tracer);
+  billboard::RoundScheduler sched(oracle);
+  std::vector<std::unique_ptr<billboard::PlayerStrategy>> strategies;
+  for (std::size_t p = 0; p < inst.matrix.players(); ++p) {
+    strategies.push_back(std::make_unique<Sweep>(inst.matrix.objects()));
+  }
+  const auto res = sched.run(strategies, /*max_rounds=*/64);
+  obs::set_tracer(nullptr);
+  tracer.flush();
+
+  EXPECT_TRUE(res.all_done);
+  EXPECT_EQ(res.crash_skips, 3u);
+  const auto text = out.str();
+  EXPECT_NE(text.find("\"name\":\"scheduler.crash\","
+                      "\"attrs\":{\"round\":3,\"player\":2}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"name\":\"scheduler.recover\","
+                      "\"attrs\":{\"round\":6,\"player\":2}"),
+            std::string::npos)
+      << text;
+  // Exactly one transition each way: the window fires once.
+  EXPECT_EQ(text.find("scheduler.crash"), text.rfind("scheduler.crash"));
+  EXPECT_EQ(text.find("scheduler.recover"), text.rfind("scheduler.recover"));
 }
 
 /// End-to-end determinism: the same seed and fault plan must produce

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Accumulate the per-run BENCH_*.json artifacts into a trajectory.
+
+Every experiment binary writes a machine-readable verdict
+(``{"bench":...,"ok":...,"wall_ms":...,"metrics":{...}}``) via
+bench::BenchReport — pointed at one directory with $TMWIA_BENCH_DIR.
+This tool closes the loop those files were designed for:
+
+  ingest   scan --bench-dir for BENCH_<name>.json, stamp them with the
+           next run sequence number, and append one JSONL line each to
+           the history file (default <bench-dir>/BENCH_HISTORY.jsonl);
+  check    (--check) compare the just-ingested run against the *best*
+           prior run per metric and fail on regressions:
+             - a bench whose verdict flips ok:true -> ok:false,
+             - a watched metric worse than the best prior value by more
+               than its budget (--max-regress METRIC=PCT; defaults
+               rounds=10, total_probes=10, wall_ms=75).
+
+Cost metrics (rounds, total_probes) are deterministic for a fixed seed,
+so their budgets are tight; wall_ms is hardware noise, so its budget is
+loose.  The first ingest of a bench has no prior and is trivially green
+— but the history is then non-empty, so the next run has a baseline.
+
+Exit status: 0 green, 1 regression (--check), 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_BUDGETS = {"rounds": 10.0, "total_probes": 10.0, "wall_ms": 75.0}
+
+
+def parse_budgets(specs: list[str]) -> dict[str, float]:
+    budgets = dict(DEFAULT_BUDGETS)
+    for spec in specs:
+        metric, sep, pct = spec.partition("=")
+        if not sep or not metric:
+            raise SystemExit(f"error: --max-regress expects METRIC=PCT, got {spec!r}")
+        try:
+            budgets[metric] = float(pct)
+        except ValueError:
+            raise SystemExit(f"error: bad budget {spec!r}") from None
+    return budgets
+
+
+def load_bench_files(bench_dir: Path) -> list[dict]:
+    entries = []
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        if path.name == "BENCH_HISTORY.jsonl":
+            continue
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            raise SystemExit(f"error: cannot parse {path}: {err}")
+        for key in ("bench", "ok", "wall_ms"):
+            if key not in doc:
+                raise SystemExit(f"error: {path} has no {key!r} field")
+        entries.append(
+            {
+                "bench": doc["bench"],
+                "ok": bool(doc["ok"]),
+                "wall_ms": float(doc["wall_ms"]),
+                "metrics": dict(doc.get("metrics", {})),
+            }
+        )
+    return entries
+
+
+def load_history(history: Path) -> list[dict]:
+    if not history.exists():
+        return []
+    rows = []
+    for lineno, line in enumerate(history.read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            raise SystemExit(f"error: {history}:{lineno}: {err}")
+    return rows
+
+
+def metric_value(row: dict, metric: str) -> float | None:
+    if metric == "wall_ms":
+        v = row.get("wall_ms")
+    else:
+        v = row.get("metrics", {}).get(metric)
+    return float(v) if isinstance(v, (int, float)) else None
+
+
+def check_run(
+    current: list[dict], prior: list[dict], budgets: dict[str, float]
+) -> list[str]:
+    regressions = []
+    for row in current:
+        bench = row["bench"]
+        history = [p for p in prior if p.get("bench") == bench]
+        if not history:
+            continue  # first ingest: baseline established, trivially green
+        if not row["ok"] and any(p.get("ok") for p in history):
+            regressions.append(f"{bench}: verdict regressed to FAIL")
+        for metric, pct in sorted(budgets.items()):
+            cur = metric_value(row, metric)
+            if cur is None:
+                continue
+            best = min(
+                (v for p in history if (v := metric_value(p, metric)) is not None),
+                default=None,
+            )
+            if best is None:
+                continue
+            # Budgets are "no worse than best prior by more than pct%";
+            # a zero baseline (e.g. 0 violations) must stay exact.
+            limit = best * (1.0 + pct / 100.0) if best > 0 else best
+            if cur > limit and cur - best > 1e-9:
+                regressions.append(
+                    f"{bench}: {metric} {cur:g} vs best {best:g} "
+                    f"(budget +{pct:g}%)"
+                )
+    return regressions
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="bench_history.py", description=__doc__.splitlines()[0]
+    )
+    ap.add_argument(
+        "--bench-dir",
+        default=os.environ.get("TMWIA_BENCH_DIR") or ".",
+        help="directory holding BENCH_*.json (default $TMWIA_BENCH_DIR or .)",
+    )
+    ap.add_argument(
+        "--history",
+        default=None,
+        help="trajectory file (default <bench-dir>/BENCH_HISTORY.jsonl)",
+    )
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) on regressions vs the best prior run",
+    )
+    ap.add_argument(
+        "--max-regress",
+        metavar="METRIC=PCT",
+        action="append",
+        default=[],
+        help=f"per-metric regression budget (defaults: "
+        f"{', '.join(f'{k}={v:g}' for k, v in DEFAULT_BUDGETS.items())})",
+    )
+    ap.add_argument("-q", "--quiet", action="store_true", help="only print problems")
+    args = ap.parse_args(argv)
+
+    bench_dir = Path(args.bench_dir)
+    if not bench_dir.is_dir():
+        print(f"error: bench dir {bench_dir} does not exist", file=sys.stderr)
+        return 2
+    budgets = parse_budgets(args.max_regress)
+    history_path = Path(args.history) if args.history else bench_dir / "BENCH_HISTORY.jsonl"
+
+    current = load_bench_files(bench_dir)
+    if not current:
+        print(f"error: no BENCH_*.json in {bench_dir}", file=sys.stderr)
+        return 2
+    prior = load_history(history_path)
+    run = 1 + max((p.get("run", 0) for p in prior), default=0)
+
+    with history_path.open("a") as fh:
+        for row in current:
+            fh.write(json.dumps({"run": run, **row}, sort_keys=False) + "\n")
+
+    if not args.quiet:
+        print(f"run {run}: ingested {len(current)} bench report(s) "
+              f"into {history_path} ({len(prior)} prior entries)")
+        for row in current:
+            print(f"  {'ok ' if row['ok'] else 'FAIL'} {row['bench']:<18} "
+                  f"wall {row['wall_ms']:g} ms")
+
+    if args.check:
+        regressions = check_run(current, prior, budgets)
+        if regressions:
+            for r in regressions:
+                print(f"REGRESSION {r}", file=sys.stderr)
+            return 1
+        if not args.quiet:
+            print(f"check: green (budgets "
+                  f"{', '.join(f'{k}<=+{v:g}%' for k, v in sorted(budgets.items()))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

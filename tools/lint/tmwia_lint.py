@@ -28,6 +28,13 @@ literals stripped) for constructs that would let those invariants rot:
                            must reach the hidden matrix only through
                            ProbeOracle, which charges probe cost. Use
                            tmwia/matrix/ids.hpp for the id types.
+  sink-registration        constructing or installing Tracer/FlightRecorder
+                           sinks (set_tracer/set_recorder) outside src/obs.
+                           The slots are process-global; only designated
+                           sink owners (Session, the CLI, the bench
+                           harness, obs tests — each with an auditable
+                           allow-file pragma) may register them, so library
+                           code can never hijack the artifact contract.
   size-empty               `x.size() == 0` instead of `x.empty()` (the
                            readability-container-size-empty mirror, kept
                            here because clang-tidy is optional).
@@ -157,6 +164,19 @@ RULES = [
         patterns=(
             r"\bPreferenceMatrix\b",
             r"preference_matrix\.hpp",
+        ),
+    ),
+    Rule(
+        id="sink-registration",
+        description="only src/obs and designated sink owners (allow-file pragma) "
+        "may construct or install Tracer/FlightRecorder sinks",
+        dirs=CODE_DIRS,
+        exempt=("src/obs",),
+        patterns=(
+            r"\bset_tracer\s*\(",
+            r"\bset_recorder\s*\(",
+            r"\bmake_unique\s*<\s*(obs\s*::\s*)?(Tracer|FlightRecorder)\b",
+            r"\b(Tracer|FlightRecorder)\s+\w+\s*[({]",
         ),
     ),
     Rule(

@@ -14,10 +14,16 @@
 #              billboard-invariant checks; also part of plain)
 #   bench-json opt-in: run every e* bench binary and jq-check that each
 #              writes parseable BENCH_<name>.json
+#   bench-history opt-in: run every e* bench with TMWIA_BENCH_DIR set to
+#              build/bench-history, append the run to
+#              build/bench-history/BENCH_HISTORY.jsonl via
+#              tools/bench/bench_history.py, and --check it against the
+#              best prior run (regression budgets in that script)
 #
 # Usage:
 #   tools/run_tests.sh [--plain-only|--sanitize-only|--tsan-only]
-#                      [--lint-only] [--audit] [--bench-json] [-j N]
+#                      [--lint-only] [--audit] [--bench-json]
+#                      [--bench-history] [-j N]
 #
 # Default runs lint + plain + asan + tsan; all requested stages must pass.
 set -euo pipefail
@@ -30,6 +36,7 @@ RUN_SAN=1
 RUN_TSAN=1
 RUN_AUDIT=0
 RUN_BENCH_JSON=0
+RUN_BENCH_HISTORY=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -39,6 +46,7 @@ while [[ $# -gt 0 ]]; do
     --lint-only) RUN_PLAIN=0; RUN_SAN=0; RUN_TSAN=0; RUN_LINT=1 ;;
     --audit) RUN_AUDIT=1 ;;
     --bench-json) RUN_BENCH_JSON=1 ;;
+    --bench-history) RUN_BENCH_HISTORY=1 ;;
     -j) JOBS="$2"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
@@ -118,6 +126,22 @@ if [[ $RUN_BENCH_JSON -eq 1 ]]; then
       "$BENCH_DIR/BENCH_$name.json" >/dev/null \
       || { echo "invalid or missing BENCH_$name.json" >&2; exit 1; }
   done
+fi
+
+if [[ $RUN_BENCH_HISTORY -eq 1 ]]; then
+  echo "== bench history =="
+  cmake --build "$ROOT/build" -j "$JOBS"
+  HIST_DIR="$ROOT/build/bench-history"
+  mkdir -p "$HIST_DIR"
+  for b in "$ROOT"/build/bench/e*; do
+    [[ -x "$b" ]] || continue
+    name="$(basename "$b")"
+    echo "-- $name"
+    # A FAIL verdict is data for the trajectory, not fatal here; the
+    # history check flags a green->red flip as a regression instead.
+    (cd "$HIST_DIR" && TMWIA_BENCH_DIR="$HIST_DIR" "$b" > "$name.log" 2>&1) || true
+  done
+  python3 "$ROOT/tools/bench/bench_history.py" --bench-dir "$HIST_DIR" --check
 fi
 
 echo "all requested suites passed"

@@ -15,19 +15,36 @@
 //
 // Observability: `run` takes --metrics=FILE (final MetricsRegistry
 // snapshot as one-line JSON), --trace=FILE (span/event JSONL on a
-// deterministic logical clock) and --threads=N (global pool size; the
-// artifacts are byte-identical for any N under the same seed).
+// deterministic logical clock), --record=FILE (flight-recorder event
+// log, JSONL or binary), --report=FILE (RunReport with the per-phase
+// timeline as JSON) and --threads=N (global pool size; the artifacts
+// are byte-identical for any N under the same seed).
+//
+// The flight log round-trips: `inspect` renders the phase timeline,
+// per-player cost ledger and fault overlay of a recorded run, and
+// `replay` re-drives a fresh billboard shadow + ProtocolAuditor from
+// the events alone, cross-checking the stream against the recorded
+// run_end totals (exit 1 on any violation or mismatch).
+//
+// tmwia-lint: allow-file(sink-registration) CLI is a sink registrar:
+// it owns the trace/record sinks it installs for --trace/--record.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "tmwia/baselines/baselines.hpp"
+#include "tmwia/billboard/protocol_auditor.hpp"
+#include "tmwia/core/session.hpp"
 #include "tmwia/core/tmwia.hpp"
 #include "tmwia/engine/thread_pool.hpp"
 #include "tmwia/io/args.hpp"
 #include "tmwia/io/serialize.hpp"
 #include "tmwia/io/table.hpp"
+#include "tmwia/obs/flight_recorder.hpp"
 
 using namespace tmwia;
 
@@ -38,7 +55,8 @@ namespace {
 // it, per subcommand.
 const io::FlagTable& flag_table() {
   static const io::FlagTable table(
-      "usage: tmwia_cli <gen|info|run|eval> [--key=value ...]  (or: tmwia_cli --help)",
+      "usage: tmwia_cli <gen|info|run|eval|inspect|replay> [--key=value ...]  "
+      "(or: tmwia_cli --help)",
       {
           {"kind", "K", "instance family: planted|multi|adversarial|markov|lowrank|uniform",
            "gen"},
@@ -61,8 +79,13 @@ const io::FlagTable& flag_table() {
           {"faults", "SPEC", "fault plan, e.g. seed=S,crash=R@A-B,probe=R,drop=R", "run"},
           {"metrics", "FILE", "write final metrics snapshot JSON here", "run"},
           {"trace", "FILE", "write span/event trace JSONL here", "run"},
+          {"record", "FILE", "write the flight-recorder event log here", "run"},
+          {"record-format", "F", "recorder wire format: jsonl|binary (default jsonl)",
+           "run"},
+          {"report", "FILE", "write the RunReport (phase timeline) as JSON here", "run"},
           {"threads", "N", "global thread-pool size (0 = hardware)", "run"},
           {"outputs", "FILE", "estimates file to score", "eval"},
+          {"log", "FILE", "flight-recorder log to read", "inspect,replay"},
           {"help", "", "show this help"},
       });
   return table;
@@ -148,10 +171,33 @@ int cmd_run(const io::Args& args) {
     tracer = std::make_unique<obs::Tracer>(trace_out);
     obs::set_tracer(tracer.get());
   }
+  std::ofstream record_out;
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (const auto record_path = args.get("record"); record_path.has_value()) {
+    const auto fmt_name = args.get("record-format").value_or("jsonl");
+    obs::RecordFormat fmt = obs::RecordFormat::kJsonl;
+    if (fmt_name == "binary") {
+      fmt = obs::RecordFormat::kBinary;
+    } else if (fmt_name != "jsonl") {
+      throw std::runtime_error("unknown --record-format=" + fmt_name);
+    }
+    record_out.open(*record_path, fmt == obs::RecordFormat::kBinary
+                                      ? std::ios::out | std::ios::binary
+                                      : std::ios::out);
+    if (!record_out) throw std::runtime_error("cannot open --record file");
+    recorder = std::make_unique<obs::FlightRecorder>(record_out, fmt);
+    // The CLI holds the planted truth, so phase summaries get real
+    // max/mean discrepancy (the library only sees the std::function).
+    recorder->set_output_evaluator(make_truth_evaluator(inst.matrix));
+    obs::set_recorder(recorder.get());
+  } else if (args.get("record-format").has_value()) {
+    throw std::runtime_error("--record-format requires --record");
+  }
 
   billboard::ProbeOracle oracle(inst.matrix);
   billboard::Billboard board;
   std::vector<bits::BitVector> outputs;
+  std::optional<core::RunReport> report;
 
   // Optional fault injection: a seeded declarative plan (see
   // faults::FaultPlan::parse for the grammar). The run then ends with a
@@ -164,16 +210,15 @@ int cmd_run(const io::Args& args) {
   }
 
   if (algo == "unknown_d") {
-    outputs = core::find_preferences_unknown_d(oracle, &board, alpha, params, rng::Rng(seed))
-                  .outputs;
+    report =
+        core::find_preferences_unknown_d(oracle, &board, alpha, params, rng::Rng(seed));
   } else if (algo == "zero" || algo == "small" || algo == "large") {
     const auto d = static_cast<std::size_t>(args.get_int("d", algo == "zero" ? 0 : 8));
-    outputs = core::find_preferences(oracle, &board, alpha, d, params, rng::Rng(seed))
-                  .outputs;
+    report = core::find_preferences(oracle, &board, alpha, d, params, rng::Rng(seed));
   } else if (algo == "anytime") {
     const auto budget = static_cast<std::uint64_t>(
         args.get_int("budget", static_cast<std::int64_t>(inst.matrix.objects()) * 4));
-    outputs = core::anytime(oracle, &board, budget, params, rng::Rng(seed)).outputs;
+    report = core::anytime(oracle, &board, budget, params, rng::Rng(seed));
   } else if (algo == "solo") {
     outputs = baselines::solo_probing(oracle).outputs;
   } else if (algo == "knn") {
@@ -188,6 +233,19 @@ int cmd_run(const io::Args& args) {
     outputs = baselines::svd_recommender(oracle, sp, rng::Rng(seed)).outputs;
   } else {
     throw std::runtime_error("unknown --algo=" + algo);
+  }
+  if (const auto report_path = args.get("report"); report_path.has_value()) {
+    if (!report.has_value()) {
+      throw std::runtime_error("--report: --algo=" + algo + " produces no RunReport");
+    }
+    std::ofstream rs(*report_path);
+    if (!rs) throw std::runtime_error("cannot open --report file");
+    rs << report->to_json() << '\n';
+  }
+  if (report.has_value()) {
+    // The report JSON is already on disk; it never embeds the
+    // estimates, so the remaining consumer is save_outputs below.
+    outputs = std::move(report->outputs);
   }
 
   std::ofstream os(require(args, "out"));
@@ -210,6 +268,10 @@ int cmd_run(const io::Args& args) {
   if (tracer != nullptr) {
     obs::set_tracer(nullptr);
     tracer->flush();
+  }
+  if (recorder != nullptr) {
+    obs::set_recorder(nullptr);
+    recorder->flush();
   }
 
   std::cout << "algo: " << algo << "\nrounds (max probes/player): "
@@ -255,6 +317,299 @@ int cmd_eval(const io::Args& args) {
   return 0;
 }
 
+obs::RecorderLog load_log(const io::Args& args) {
+  const auto path = require(args, "log");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open --log file '" + path + "'");
+  return obs::read_recorder_log(in);
+}
+
+/// Per-player charges accumulated from the event stream.
+struct PlayerLedger {
+  std::uint64_t attempts = 0;  ///< probe + probe_failed (charged)
+  std::uint64_t failed = 0;
+  std::uint64_t posts = 0;  ///< result + vector posts
+};
+
+int cmd_inspect(const io::Args& args) {
+  const auto log = load_log(args);
+  std::cout << "events: " << log.events.size() << " ("
+            << (log.format == obs::RecordFormat::kBinary ? "binary" : "jsonl")
+            << ")\n\n";
+
+  // Run/phase timeline: scope transitions plus every phase summary.
+  io::Table timeline("run timeline",
+                     {{"scope"}, {"event"}, {"players"}, {"cum_rounds"}, {"cum_probes"},
+                      {"max_disc", 1}, {"mean_disc", 2}});
+  std::vector<std::string> stack;
+  std::uint64_t rounds_seen = 0;
+  std::uint64_t result_posts = 0;
+  std::vector<PlayerLedger> ledger;
+  std::map<std::string, std::uint64_t> faults;
+  std::vector<std::uint32_t> crashed_players;
+  std::uint64_t dropped_events = 0;
+
+  auto at_player = [&ledger](std::uint32_t p) -> PlayerLedger& {
+    if (p >= ledger.size()) ledger.resize(p + 1);
+    return ledger[p];
+  };
+  auto indent = [&stack] {
+    return std::string(2 * (stack.empty() ? 0 : stack.size() - 1), ' ') +
+           (stack.empty() ? std::string("?") : stack.back());
+  };
+
+  using Kind = obs::RecorderEvent::Kind;
+  for (const auto& ev : log.events) {
+    switch (ev.kind) {
+      case Kind::kRunBegin:
+      case Kind::kPhaseBegin:
+        stack.push_back(ev.label);
+        timeline.add_row({indent(), std::string(ev.kind == Kind::kRunBegin
+                                                    ? "begin"
+                                                    : "phase"),
+                          static_cast<long long>(ev.a), std::string("-"), std::string("-"),
+                          std::string("-"), std::string("-")});
+        break;
+      case Kind::kRunEnd:
+      case Kind::kPhaseEnd:
+        timeline.add_row({indent(), std::string("end"), std::string("-"),
+                          static_cast<long long>(ev.a), static_cast<long long>(ev.b),
+                          std::string("-"), std::string("-")});
+        if (!stack.empty()) stack.pop_back();
+        break;
+      case Kind::kPhaseSummary: {
+        std::vector<io::Cell> row{indent() + "/" + ev.label, std::string("summary"),
+                                  static_cast<long long>(ev.player),
+                                  static_cast<long long>(ev.a),
+                                  static_cast<long long>(ev.b)};
+        if (ev.has(obs::RecorderEvent::kHasX)) {
+          row.emplace_back(ev.x);
+          row.emplace_back(ev.y);
+        } else {
+          row.emplace_back(std::string("-"));
+          row.emplace_back(std::string("-"));
+        }
+        timeline.add_row(std::move(row));
+        break;
+      }
+      case Kind::kRoundBegin:
+        ++rounds_seen;
+        break;
+      case Kind::kProbe:
+        ++at_player(ev.player).attempts;
+        break;
+      case Kind::kProbeFailed: {
+        auto& pl = at_player(ev.player);
+        ++pl.attempts;
+        ++pl.failed;
+        break;
+      }
+      case Kind::kPost:
+        ++at_player(ev.player).posts;
+        ++result_posts;
+        break;
+      case Kind::kVectorPost:
+        ++at_player(ev.player).posts;
+        break;
+      case Kind::kCrash:
+        ++faults["crash"];
+        crashed_players.push_back(ev.player);
+        break;
+      case Kind::kRecover:
+        ++faults["recover"];
+        break;
+      case Kind::kDegraded:
+        ++faults["degraded"];
+        break;
+      case Kind::kPostDropped:
+        ++faults["post_dropped"];
+        break;
+      case Kind::kPostDelayed:
+        ++faults["post_delayed"];
+        break;
+      case Kind::kOverflow:
+        dropped_events += ev.a;
+        break;
+      default:
+        break;
+    }
+  }
+  timeline.print(std::cout);
+  if (rounds_seen != 0) {
+    std::cout << "\nscheduler rounds: " << rounds_seen
+              << ", result posts: " << result_posts << '\n';
+  }
+  if (dropped_events != 0) {
+    std::cout << "WARNING: " << dropped_events
+              << " events were dropped at record time (stage overflow)\n";
+  }
+
+  // Per-player cost ledger: totals plus the most expensive players.
+  std::uint64_t total_attempts = 0;
+  std::uint64_t max_attempts = 0;
+  for (const auto& pl : ledger) {
+    total_attempts += pl.attempts;
+    max_attempts = std::max(max_attempts, pl.attempts);
+  }
+  std::cout << "\nprobe cost: " << total_attempts << " charged attempts, max/player "
+            << max_attempts << '\n';
+  std::vector<std::uint32_t> by_cost(ledger.size());
+  for (std::uint32_t p = 0; p < ledger.size(); ++p) by_cost[p] = p;
+  std::stable_sort(by_cost.begin(), by_cost.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return ledger[a].attempts > ledger[b].attempts;
+  });
+  io::Table costs("top players by probe cost",
+                  {{"player"}, {"attempts"}, {"failed"}, {"posts"}});
+  for (std::size_t i = 0; i < std::min<std::size_t>(by_cost.size(), 10); ++i) {
+    const auto p = by_cost[i];
+    costs.add_row({static_cast<long long>(p), static_cast<long long>(ledger[p].attempts),
+                   static_cast<long long>(ledger[p].failed),
+                   static_cast<long long>(ledger[p].posts)});
+  }
+  costs.print(std::cout);
+
+  // Fault overlay.
+  if (!faults.empty()) {
+    io::Table overlay("fault overlay", {{"fault"}, {"events"}});
+    for (const auto& [name, count] : faults) {
+      overlay.add_row({name, static_cast<long long>(count)});
+    }
+    overlay.print(std::cout);
+    std::sort(crashed_players.begin(), crashed_players.end());
+    crashed_players.erase(std::unique(crashed_players.begin(), crashed_players.end()),
+                          crashed_players.end());
+    if (!crashed_players.empty()) {
+      std::cout << "crashed players (" << crashed_players.size() << "):";
+      for (std::size_t i = 0; i < std::min<std::size_t>(crashed_players.size(), 16); ++i) {
+        std::cout << ' ' << crashed_players[i];
+      }
+      if (crashed_players.size() > 16) std::cout << " ...";
+      std::cout << '\n';
+    }
+  } else {
+    std::cout << "no fault events recorded\n";
+  }
+  return 0;
+}
+
+int cmd_replay(const io::Args& args) {
+  const auto log = load_log(args);
+  using Kind = obs::RecorderEvent::Kind;
+
+  // Depth-0 run scopes; nested phase markers stay inside their segment.
+  struct Segment {
+    std::size_t begin = 0;  ///< index of the run_begin event
+    std::size_t end = 0;    ///< index of the matching run_end event
+  };
+  std::vector<Segment> segments;
+  std::size_t open_begin = 0;
+  bool open = false;
+  for (std::size_t i = 0; i < log.events.size(); ++i) {
+    const auto kind = log.events[i].kind;
+    if (kind == Kind::kRunBegin) {
+      if (open) throw std::runtime_error("replay: nested run_begin");
+      open_begin = i;
+      open = true;
+    } else if (kind == Kind::kRunEnd) {
+      if (!open) throw std::runtime_error("replay: run_end without run_begin");
+      segments.push_back({open_begin, i});
+      open = false;
+    }
+  }
+  if (open) throw std::runtime_error("replay: unterminated run scope");
+  if (segments.empty()) throw std::runtime_error("replay: no run scopes in log");
+
+  io::Table table("replay", {{"run"}, {"events"}, {"probes"}, {"rounds"}, {"posts"},
+                             {"channels"}, {"violations"}});
+  bool ok = true;
+  for (const auto& seg : segments) {
+    const auto& begin = log.events[seg.begin];
+    const auto& end = log.events[seg.end];
+    const auto players = static_cast<std::size_t>(begin.a);
+    const auto objects = static_cast<std::size_t>(begin.b);
+
+    // Re-drive a fresh billboard shadow and auditor from events alone:
+    // posted results as per-player bitmaps, vector posts per channel,
+    // every charged attempt through the auditor's A1-A4 ledgers.
+    billboard::ProtocolAuditor auditor(players, objects);
+    std::vector<bits::BitVector> posted(players, bits::BitVector(objects));
+    std::map<std::string, std::uint64_t> channels;
+    std::vector<std::uint64_t> attempts(players, 0);
+    std::uint64_t charged = 0;
+    std::uint64_t result_posts = 0;
+    bool in_round = false;
+
+    for (std::size_t i = seg.begin + 1; i < seg.end; ++i) {
+      const auto& ev = log.events[i];
+      switch (ev.kind) {
+        case Kind::kRoundBegin:
+          auditor.begin_round(ev.round);
+          in_round = true;
+          break;
+        case Kind::kRoundEnd:
+          if (in_round) auditor.end_round();
+          in_round = false;
+          break;
+        case Kind::kProbe:
+          auditor.on_probe_attempt(ev.player);
+          auditor.on_probe(ev.player, ev.object);
+          if (ev.player < players) ++attempts[ev.player];
+          ++charged;
+          break;
+        case Kind::kProbeFailed:
+          auditor.on_probe_attempt(ev.player);
+          if (ev.player < players) ++attempts[ev.player];
+          ++charged;
+          break;
+        case Kind::kPost:
+          auditor.on_post(ev.player, ev.object);
+          if (ev.player < players) posted[ev.player].set(ev.object, true);
+          ++result_posts;
+          break;
+        case Kind::kVectorPost:
+          ++channels[ev.label];
+          break;
+        default:
+          break;
+      }
+    }
+    if (in_round) auditor.end_round();
+
+    // A4 cross-check: the recorded run_end totals must reconcile with
+    // the attempts reconstructed from the stream (recorded as a
+    // violation, not a throw, so everything lands in one report).
+    auditor.verify_totals(end.b, end.a);
+    const auto report = auditor.report();
+
+    std::uint64_t posted_bits = 0;
+    for (const auto& row : posted) posted_bits += row.count_ones();
+    if (posted_bits != result_posts) {
+      // A player's posted set is a set: duplicate posts collapse.
+      std::cout << "note: " << (result_posts - posted_bits)
+                << " re-posted results collapsed in the billboard shadow\n";
+    }
+
+    table.add_row({begin.label, static_cast<long long>(seg.end - seg.begin + 1),
+                   static_cast<long long>(charged), static_cast<long long>(end.a),
+                   static_cast<long long>(result_posts),
+                   static_cast<long long>(channels.size()),
+                   static_cast<long long>(report.violations.size())});
+    if (!report.clean()) {
+      ok = false;
+      for (const auto& v : report.violations) {
+        std::cout << "VIOLATION [" << begin.label << "] "
+                  << billboard::to_string(v.kind) << " player=" << v.player
+                  << " object=" << v.object << " round=" << v.round << ": " << v.detail
+                  << '\n';
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << (ok ? "replay clean: billboard state reconstructed, totals verified\n"
+                   : "replay FAILED\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -275,6 +630,8 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(args);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "eval") return cmd_eval(args);
+    if (cmd == "inspect") return cmd_inspect(args);
+    if (cmd == "replay") return cmd_replay(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "tmwia_cli " << cmd << ": " << e.what() << '\n';
