@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -26,6 +27,7 @@
 #include "tmwia/core/session.hpp"
 #include "tmwia/engine/thread_pool.hpp"
 #include "tmwia/io/args.hpp"
+#include "tmwia/io/checkpoint.hpp"
 #include "tmwia/io/table.hpp"
 #include "tmwia/matrix/preference_matrix.hpp"
 #include "tmwia/obs/flight_recorder.hpp"
@@ -165,33 +167,37 @@ class BenchReport {
       recorder_->flush();
     }
     if (!metrics_path_.empty()) {
-      std::ofstream ms(metrics_path_);
-      if (ms) {
-        ms << obs::MetricsRegistry::global().snapshot().to_json() << '\n';
-      } else {
-        std::fprintf(stderr, "warning: cannot write %s\n", metrics_path_.c_str());
+      try {
+        io::atomic_write_file(metrics_path_,
+                              obs::MetricsRegistry::global().snapshot().to_json() + "\n");
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "warning: cannot write %s: %s\n", metrics_path_.c_str(),
+                     e.what());
       }
     }
-    std::ofstream js(json_path_);
-    if (js) {
-      js << "{\"bench\":\"" << name_ << "\",\"ok\":" << (ok ? "true" : "false")
-         << ",\"wall_ms\":" << wall_ms << ",\"metrics\":{";
-      bool first = true;
-      for (const auto& [key, v] : metrics_) {
-        if (!first) js << ',';
-        first = false;
-        js << '"' << key << "\":";
-        char buf[40];
-        if (std::nearbyint(v) == v && std::fabs(v) < 1e15) {
-          std::snprintf(buf, sizeof buf, "%.0f", v);
-        } else {
-          std::snprintf(buf, sizeof buf, "%.17g", v);
-        }
-        js << buf;
+    std::ostringstream js;
+    js << "{\"bench\":\"" << name_ << "\",\"ok\":" << (ok ? "true" : "false")
+       << ",\"wall_ms\":" << wall_ms << ",\"metrics\":{";
+    bool first = true;
+    for (const auto& [key, v] : metrics_) {
+      if (!first) js << ',';
+      first = false;
+      js << '"' << key << "\":";
+      char buf[40];
+      if (std::nearbyint(v) == v && std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+      } else {
+        std::snprintf(buf, sizeof buf, "%.17g", v);
       }
-      js << "}}\n";
-    } else {
-      std::fprintf(stderr, "warning: cannot write %s\n", json_path_.c_str());
+      js << buf;
+    }
+    js << "}}\n";
+    try {
+      // The trajectory tooling may read BENCH_*.json while a bench is
+      // re-running; the atomic path means it never sees a torn file.
+      io::atomic_write_file(json_path_, js.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "warning: cannot write %s: %s\n", json_path_.c_str(), e.what());
     }
     std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", name_.c_str());
     return ok ? 0 : 1;
@@ -203,8 +209,10 @@ class BenchReport {
   std::string metrics_path_;
   std::chrono::steady_clock::time_point start_;
   std::map<std::string, double> metrics_;
+  // tmwia-lint: allow(durable-write) streaming event sink, not a one-shot artifact
   std::ofstream trace_out_;
   std::unique_ptr<obs::Tracer> tracer_;
+  // tmwia-lint: allow(durable-write) streaming event sink, not a one-shot artifact
   std::ofstream record_out_;
   std::unique_ptr<obs::FlightRecorder> recorder_;
 };
@@ -216,12 +224,13 @@ inline void maybe_write_csv(const io::Args& args, const io::Table& table,
   const auto dir = args.get("csv");
   if (!dir) return;
   const std::string path = *dir + "/" + name + ".csv";
-  std::ofstream os(path);
-  if (!os) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-    return;
-  }
+  std::ostringstream os;
   table.write_csv(os);
+  try {
+    io::atomic_write_file(path, os.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: cannot write %s: %s\n", path.c_str(), e.what());
+  }
 }
 
 }  // namespace tmwia::bench

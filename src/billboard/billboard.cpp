@@ -94,4 +94,31 @@ std::size_t Billboard::total_posts() const {
   return t;
 }
 
+std::vector<Billboard::ChannelDump> Billboard::export_posts() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<ChannelDump> out;
+  out.reserve(channels_.size());
+  for (const auto& [name, ch] : channels_) {
+    ChannelDump dump;
+    dump.channel = name;
+    dump.posts.reserve(ch.posts.size());
+    for (const auto& [p, v] : ch.posts) dump.posts.emplace_back(p, v);
+    std::sort(dump.posts.begin(), dump.posts.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out.push_back(std::move(dump));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ChannelDump& a, const ChannelDump& b) { return a.channel < b.channel; });
+  return out;
+}
+
+void Billboard::restore_posts(const std::vector<ChannelDump>& dump) {
+  std::lock_guard<std::mutex> lk(mu_);
+  channels_.clear();
+  for (const auto& ch : dump) {
+    auto& posts = channels_[ch.channel].posts;
+    for (const auto& [p, v] : ch.posts) posts.insert_or_assign(p, v);
+  }
+}
+
 }  // namespace tmwia::billboard

@@ -56,6 +56,18 @@ class Billboard {
   /// Total posts across all channels (diagnostics).
   [[nodiscard]] std::size_t total_posts() const;
 
+  /// One channel's posts in deterministic order, for checkpointing.
+  struct ChannelDump {
+    std::string channel;
+    std::vector<std::pair<matrix::PlayerId, bits::BitVector>> posts;  ///< sorted by player
+  };
+  /// Every channel (sorted by name) with its posts (sorted by player).
+  [[nodiscard]] std::vector<ChannelDump> export_posts() const;
+  /// Replace the board contents with `dump`. Unlike post(), restoring
+  /// does not notify the flight recorder — the events were already in
+  /// the log when the checkpoint was cut.
+  void restore_posts(const std::vector<ChannelDump>& dump);
+
  private:
   struct Channel {
     std::unordered_map<matrix::PlayerId, bits::BitVector> posts;

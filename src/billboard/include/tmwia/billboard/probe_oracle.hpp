@@ -133,6 +133,21 @@ class ProbeOracle {
   [[nodiscard]] std::vector<std::uint64_t> snapshot() const;
   [[nodiscard]] std::uint64_t rounds_since(const std::vector<std::uint64_t>& before) const;
 
+  /// The full per-player cost-and-record state, for checkpointing.
+  /// Restoring into a fresh oracle over the same truth matrix resumes
+  /// accounting (and billboard-side probe records) exactly where the
+  /// export froze it.
+  struct Ledger {
+    std::vector<std::uint64_t> invocations;
+    std::vector<std::uint64_t> charged;
+    std::vector<bits::BitVector> probed;
+    std::vector<bits::BitVector> values;
+  };
+  [[nodiscard]] Ledger export_ledger() const;
+  /// Throws std::invalid_argument when the ledger shape does not match
+  /// this oracle's (players, objects). Call only at quiescent points.
+  void restore_ledger(const Ledger& ledger);
+
  private:
   [[nodiscard]] bool noisy_read(PlayerId p, ObjectId o, std::uint64_t invocation) const;
   [[nodiscard]] bool fallback_read(PlayerId p, ObjectId o) const;

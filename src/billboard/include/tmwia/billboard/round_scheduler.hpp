@@ -133,12 +133,25 @@ class RoundScheduler {
   /// buffered until the round ends).
   [[nodiscard]] const Billboard& board() const { return board_; }
 
+  /// Round number the next run() call starts at. Each run() advances it
+  /// past the last round it touched, so repeated calls on one scheduler
+  /// (e.g. an engine::Supervisor driving phases) share a monotone round
+  /// clock — injector crash windows, the auditor, and the flight
+  /// recorder all see globally increasing round numbers.
+  [[nodiscard]] std::size_t next_round() const { return start_round_; }
+
+  /// Override the starting round of the next run() (normally only used
+  /// when reconstructing a scheduler mid-run).
+  void resume_at(std::size_t round) { start_round_ = round; }
+
  private:
   ProbeOracle* oracle_;
   Billboard board_;
   // What has been posted up to the end of the previous round; updated
   // once per round so in-round probes are invisible to peers.
   std::vector<bits::BitVector> posted_;
+  // First round of the next run() call (see next_round()).
+  std::size_t start_round_ = 0;
 };
 
 }  // namespace tmwia::billboard

@@ -194,4 +194,35 @@ std::uint64_t ProbeOracle::rounds_since(const std::vector<std::uint64_t>& before
   return mx;
 }
 
+ProbeOracle::Ledger ProbeOracle::export_ledger() const {
+  Ledger ledger;
+  ledger.invocations.resize(players());
+  ledger.charged.resize(players());
+  for (std::size_t p = 0; p < players(); ++p) {
+    ledger.invocations[p] = invocations_[p].load(std::memory_order_relaxed);
+    ledger.charged[p] = charged_[p].load(std::memory_order_relaxed);
+  }
+  ledger.probed = probed_;
+  ledger.values = values_;
+  return ledger;
+}
+
+void ProbeOracle::restore_ledger(const Ledger& ledger) {
+  if (ledger.invocations.size() != players() || ledger.charged.size() != players() ||
+      ledger.probed.size() != players() || ledger.values.size() != players()) {
+    throw std::invalid_argument("ProbeOracle::restore_ledger: player count mismatch");
+  }
+  for (const auto& row : ledger.probed) {
+    if (row.size() != objects()) {
+      throw std::invalid_argument("ProbeOracle::restore_ledger: object count mismatch");
+    }
+  }
+  for (std::size_t p = 0; p < players(); ++p) {
+    invocations_[p].store(ledger.invocations[p], std::memory_order_relaxed);
+    charged_[p].store(ledger.charged[p], std::memory_order_relaxed);
+  }
+  probed_ = ledger.probed;
+  values_ = ledger.values;
+}
+
 }  // namespace tmwia::billboard

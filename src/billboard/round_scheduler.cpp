@@ -76,7 +76,12 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
   // (the injector exposes only the current state).
   std::vector<std::uint8_t> was_down(strategies.size(), 0);
 
-  for (std::size_t round = 0; round < max_rounds; ++round) {
+  // Rounds are numbered from start_round_ (0 for a fresh scheduler) so
+  // repeated run() calls share one monotone round clock; res.rounds
+  // stays relative to this call.
+  const std::size_t start = start_round_;
+  std::size_t round = start;
+  for (; round < start + max_rounds; ++round) {
 #if TMWIA_AUDIT
     // The auditor's round clock brackets everything players do this
     // round (probes, billboard reads, result posts).
@@ -199,11 +204,12 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
     }
 
     if (!any_active) {
-      res.rounds = round;
+      res.rounds = round - start;
 #if TMWIA_AUDIT
       if (auditor != nullptr) auditor->end_round();
 #endif
       if (rec != nullptr) rec->round_end(round, 0, 0);
+      ++round;  // this round was touched (auditor/recorder brackets ran)
       break;
     }
     ++res.rounds;
@@ -227,6 +233,8 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
 #endif
     if (rec != nullptr) rec->round_end(round, active_players, this_round.size());
   }
+
+  start_round_ = round;
 
   // Never-published delayed posts should not vanish silently.
   for (auto& d : delayed) board_.post(d.post.channel, d.p, d.post.vec);

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <stdexcept>
 
 #include "tmwia/core/bit_space.hpp"
+#include "tmwia/core/checkpoint.hpp"
 #include "tmwia/core/large_radius.hpp"
 #include "tmwia/core/rselect.hpp"
 #include "tmwia/core/small_radius.hpp"
@@ -69,11 +71,8 @@ void record_checkpoint(RunReport& res, obs::FlightRecorder* rec, std::string_vie
   res.timeline.push_back(std::move(cp));
 }
 
-/// Orphan adoption, top level: players whose committee/candidate set
-/// was wiped out by faults (quorum lost at every vote they joined)
-/// re-select among the most-supported *surviving* outputs with RSelect
-/// — the Section 6.1 primitive, which needs no distance bound. No-op
-/// without an attached fault injector.
+}  // namespace
+
 void rescue_orphans(billboard::ProbeOracle& oracle, std::vector<bits::BitVector>& outputs,
                     const std::vector<PlayerId>& players, const Params& params,
                     const rng::Rng& rng) {
@@ -123,8 +122,6 @@ void rescue_orphans(billboard::ProbeOracle& oracle, std::vector<bits::BitVector>
     outputs[i] = std::move(cands[sel.index]);
   });
 }
-
-}  // namespace
 
 RunReport find_preferences(billboard::ProbeOracle& oracle, billboard::Billboard* board,
                            double alpha, std::size_t D, const Params& params, rng::Rng rng) {
@@ -185,34 +182,103 @@ RunReport find_preferences(billboard::ProbeOracle& oracle, billboard::Billboard*
   return res;
 }
 
-RunReport find_preferences_unknown_d(billboard::ProbeOracle& oracle,
-                                     billboard::Billboard* board, double alpha,
-                                     const Params& params, rng::Rng rng) {
+namespace {
+
+/// Shared body of the three unknown-D entry points. `policy` (optional)
+/// cuts checkpoints at guess boundaries; `resume` (optional) continues
+/// from a previously-cut checkpoint instead of starting fresh. The
+/// resumed execution replays the uninterrupted one byte-for-byte: the
+/// root rng state was stored (splits are pure in it), the recorder
+/// clock was restored by the caller, and run_begin is skipped because
+/// the original run's record already carries it.
+RunReport unknown_d_impl(billboard::ProbeOracle& oracle, billboard::Billboard* board,
+                         double alpha, const Params& params, rng::Rng rng,
+                         const CheckpointPolicy* policy, const RunCheckpoint* resume) {
   const auto players = all_players(oracle);
   const auto objects = all_objects(oracle);
   const std::size_t m = objects.size();
-  const auto before = oracle.snapshot();
-  const auto probes_before = oracle.total_invocations();
 
   obs::Span span(obs::tracer(), "find_preferences_unknown_d", {{"alpha", alpha}});
   auto* rec = obs::recorder();
-  if (rec != nullptr) rec->run_begin("unknown_d", alpha, players.size(), objects.size());
 
   RunReport res;
-  res.algo = RunReport::Algo::kUnknownD;
-  res.guesses.push_back(0);
-  for (std::size_t d = 1; d < m; d *= 2) res.guesses.push_back(d);
+  std::vector<std::vector<bits::BitVector>> versions;
+  std::vector<std::uint64_t> before;
+  std::uint64_t probes_before = 0;
+  std::size_t start_gi = 0;
+  std::uint64_t ckpt_seq = 0;
+  std::uint64_t last_ckpt_rounds = 0;
+
+  if (resume != nullptr) {
+    res = resume->partial;
+    versions = resume->versions;
+    before = resume->before;
+    probes_before = resume->probes_before;
+    start_gi = resume->next_guess;
+    ckpt_seq = resume->seq;
+    last_ckpt_rounds = resume->cum_rounds;
+  } else {
+    before = oracle.snapshot();
+    probes_before = oracle.total_invocations();
+    if (rec != nullptr) rec->run_begin("unknown_d", alpha, players.size(), objects.size());
+    res.algo = RunReport::Algo::kUnknownD;
+    res.guesses.push_back(0);
+    for (std::size_t d = 1; d < m; d *= 2) res.guesses.push_back(d);
+    versions.reserve(res.guesses.size());
+  }
 
   static const auto h_guess_probes = obs::MetricsRegistry::global().histogram(
       "core.unknown_d.guess_probes", obs::MetricsRegistry::pow2_bounds(32));
+
+  // Cut a checkpoint when the cadence says one is due, then give the
+  // fault plan its chance to SIGKILL. Order matters: the kill drill
+  // must always find a fresh file to resume from, and the ckpt note is
+  // emitted *before* the sink runs so the stored recorder clock points
+  // just past it (the splice point).
+  const auto maybe_checkpoint = [&](std::size_t next_gi) {
+    const std::uint64_t cum = oracle.rounds_since(before);
+    if (policy != nullptr && policy->every_rounds > 0 &&
+        cum - last_ckpt_rounds >= policy->every_rounds) {
+      ++ckpt_seq;
+      if (rec != nullptr) rec->note("ckpt", ckpt_seq, cum);
+      if (policy->sink) {
+        RunCheckpoint ck;
+        ck.algo = "unknown_d";
+        ck.alpha = alpha;
+        ck.players = players.size();
+        ck.objects = m;
+        ck.seq = ckpt_seq;
+        ck.cum_rounds = cum;
+        ck.recorder_clock = rec != nullptr ? rec->clock() : 0;
+        ck.next_guess = next_gi;
+        ck.versions = versions;
+        ck.partial = res;
+        ck.before = before;
+        ck.probes_before = probes_before;
+        ck.rng_state = rng.state();
+        ck.oracle = oracle.export_ledger();
+        if (board != nullptr) ck.board = board->export_posts();
+        if (auto* inj = oracle.fault_injector()) {
+          ck.has_injector = true;
+          ck.injector = inj->export_state();
+        }
+        auto& reg = obs::MetricsRegistry::global();
+        if (reg.enabled()) {
+          ck.metrics_enabled = true;
+          ck.metrics = reg.snapshot();
+        }
+        policy->sink(ck);
+      }
+      last_ckpt_rounds = cum;
+    }
+    if (auto* inj = oracle.fault_injector()) inj->maybe_kill(cum);
+  };
 
   // One main-algorithm run per guess. Outputs are posted publicly (via
   // the per-run channels), then each player privately picks the
   // candidate closest to its own vector with RSelect — no distance
   // bound is needed (Section 6.1).
-  std::vector<std::vector<bits::BitVector>> versions;
-  versions.reserve(res.guesses.size());
-  for (std::size_t gi = 0; gi < res.guesses.size(); ++gi) {
+  for (std::size_t gi = start_gi; gi < res.guesses.size(); ++gi) {
     const auto guess_probes_before = oracle.total_invocations();
     versions.push_back(
         find_preferences(oracle, board, alpha, res.guesses[gi], params, rng.split(0xD0, gi))
@@ -227,6 +293,7 @@ RunReport find_preferences_unknown_d(billboard::ProbeOracle& oracle,
     record_checkpoint(res, rec, "guess:d=" + std::to_string(res.guesses[gi]), versions.back(),
                       oracle.rounds_since(before),
                       oracle.total_invocations() - probes_before);
+    maybe_checkpoint(gi + 1);
   }
 
   res.outputs.assign(players.size(), bits::BitVector(m));
@@ -273,6 +340,61 @@ RunReport find_preferences_unknown_d(billboard::ProbeOracle& oracle,
             {"rounds", res.rounds},
             {"probes", res.total_probes}});
   return res;
+}
+
+}  // namespace
+
+RunReport find_preferences_unknown_d(billboard::ProbeOracle& oracle,
+                                     billboard::Billboard* board, double alpha,
+                                     const Params& params, rng::Rng rng) {
+  return unknown_d_impl(oracle, board, alpha, params, rng, nullptr, nullptr);
+}
+
+RunReport find_preferences_unknown_d(billboard::ProbeOracle& oracle,
+                                     billboard::Billboard* board, double alpha,
+                                     const Params& params, rng::Rng rng,
+                                     const CheckpointPolicy& policy) {
+  return unknown_d_impl(oracle, board, alpha, params, rng, &policy, nullptr);
+}
+
+RunReport resume_unknown_d(billboard::ProbeOracle& oracle, billboard::Billboard* board,
+                           const Params& params, const RunCheckpoint& ckpt,
+                           const CheckpointPolicy& policy) {
+  if (ckpt.algo != "unknown_d") {
+    throw std::invalid_argument("resume_unknown_d: checkpoint is for algo '" + ckpt.algo +
+                                "'");
+  }
+  if (ckpt.players != oracle.players() || ckpt.objects != oracle.objects()) {
+    throw std::invalid_argument(
+        "resume_unknown_d: checkpoint shape (" + std::to_string(ckpt.players) + "x" +
+        std::to_string(ckpt.objects) + ") does not match oracle (" +
+        std::to_string(oracle.players()) + "x" + std::to_string(oracle.objects()) + ")");
+  }
+
+  // Splice the world back together: cost ledgers and probe records,
+  // billboard posts, fault cursors, the metrics stream, and the flight
+  // recorder's logical clock (re-entering the still-open run scope).
+  oracle.restore_ledger(ckpt.oracle);
+  if (board != nullptr) board->restore_posts(ckpt.board);
+  auto* injector = oracle.fault_injector();
+  if (ckpt.has_injector) {
+    if (injector == nullptr) {
+      throw std::invalid_argument(
+          "resume_unknown_d: checkpoint has fault state but no injector is attached");
+    }
+    injector->restore_state(ckpt.injector);
+  }
+  if (ckpt.metrics_enabled) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.set_enabled(true);
+    reg.restore(ckpt.metrics);
+  }
+  if (auto* rec = obs::recorder()) {
+    rec->resume_run(oracle.players(), ckpt.recorder_clock);
+  }
+
+  return unknown_d_impl(oracle, board, ckpt.alpha, params,
+                        rng::Rng::from_state(ckpt.rng_state), &policy, &ckpt);
 }
 
 RunReport anytime(billboard::ProbeOracle& oracle, billboard::Billboard* board,

@@ -55,6 +55,16 @@ struct PhaseCheckpoint {
   double mean_disc = -1.0;         ///< mean Hamming distance to truth
 };
 
+/// Degradation record of a supervised run: what the run gave up on
+/// instead of aborting. Empty for a healthy run (and then omitted from
+/// the report JSON).
+struct DegradedInfo {
+  std::vector<PlayerId> quarantined;     ///< strategies benched for good
+  std::vector<std::string> unmet_phases; ///< phases that blew their round deadline
+  [[nodiscard]] bool empty() const { return quarantined.empty() && unmet_phases.empty(); }
+  bool operator==(const DegradedInfo&) const = default;
+};
+
 /// Unified result of every core entry point. The common fields
 /// (outputs, rounds, total_probes) are always filled; the rest depends
 /// on `algo`:
@@ -66,7 +76,7 @@ struct PhaseCheckpoint {
 /// `metrics` is a snapshot of the global MetricsRegistry taken at the
 /// end of the call when the registry is enabled (empty otherwise).
 struct RunReport {
-  enum class Algo : std::uint8_t { kFixedD, kUnknownD, kAnytime };
+  enum class Algo : std::uint8_t { kFixedD, kUnknownD, kAnytime, kSupervised };
 
   Algo algo = Algo::kFixedD;
   /// Output vector per player (aligned with player ids, coordinates in
@@ -89,9 +99,14 @@ struct RunReport {
 
   obs::Snapshot metrics;  ///< global-registry snapshot when enabled
 
-  /// One-line JSON object with the scalar results, the timeline, and
-  /// the variant detail (chosen_d/guesses/phases). Outputs and the
-  /// metrics snapshot are *not* embedded — they have their own sinks.
+  /// What a supervised run quarantined or left unmet (empty unless an
+  /// engine::Supervisor degraded the run instead of aborting it).
+  DegradedInfo degraded;
+
+  /// One-line JSON object with the scalar results, the timeline, the
+  /// variant detail (chosen_d/guesses/phases), and — when non-empty —
+  /// the degraded section. Outputs and the metrics snapshot are *not*
+  /// embedded — they have their own sinks.
   [[nodiscard]] std::string to_json() const;
 };
 
@@ -110,6 +125,17 @@ RunReport find_preferences(billboard::ProbeOracle& oracle, billboard::Billboard*
 RunReport find_preferences_unknown_d(billboard::ProbeOracle& oracle,
                                      billboard::Billboard* board, double alpha,
                                      const Params& params, rng::Rng rng);
+
+/// Orphan adoption (Section 6.1 RSelect over surviving outputs):
+/// players flagged orphaned on the oracle's fault injector — by vote
+/// quorum loss or by supervisor quarantine — re-select among the
+/// most-supported surviving outputs; their own (possibly partial)
+/// output competes too. `outputs[i]` belongs to `players[i]`. No-op
+/// without an attached injector. Also called internally at the tail of
+/// every find_preferences run.
+void rescue_orphans(billboard::ProbeOracle& oracle, std::vector<bits::BitVector>& outputs,
+                    const std::vector<PlayerId>& players, const Params& params,
+                    const rng::Rng& rng);
 
 /// Section 6: unknown alpha and D. Runs phases alpha = 1/2, 1/4, ...
 /// until the per-player round budget is exhausted; after each phase,

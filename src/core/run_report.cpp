@@ -10,6 +10,7 @@ const char* algo_name(RunReport::Algo a) {
     case RunReport::Algo::kFixedD: return "fixed_d";
     case RunReport::Algo::kUnknownD: return "unknown_d";
     case RunReport::Algo::kAnytime: return "anytime";
+    case RunReport::Algo::kSupervised: return "supervised";
   }
   return "?";
 }
@@ -97,6 +98,8 @@ std::string RunReport::to_json() const {
       out.push_back(']');
       break;
     }
+    case Algo::kSupervised:
+      break;  // phase detail lives in the timeline; degraded below
   }
   out += ",\"timeline\":[";
   for (std::size_t i = 0; i < timeline.size(); ++i) {
@@ -116,7 +119,21 @@ std::string RunReport::to_json() const {
     }
     out.push_back('}');
   }
-  out += "]}";
+  out.push_back(']');
+  if (!degraded.empty()) {
+    out += ",\"degraded\":{\"quarantined\":[";
+    for (std::size_t i = 0; i < degraded.quarantined.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      out += std::to_string(degraded.quarantined[i]);
+    }
+    out += "],\"unmet_phases\":[";
+    for (std::size_t i = 0; i < degraded.unmet_phases.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      append_json_string(out, degraded.unmet_phases[i]);
+    }
+    out += "]}";
+  }
+  out.push_back('}');
   return out;
 }
 

@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "tmwia/engine/thread_pool.hpp"
+#include "tmwia/io/checkpoint.hpp"
 #include "tmwia/obs/metrics.hpp"
 #include "tmwia/rng/rng.hpp"
 
@@ -35,6 +37,7 @@ obs::FlightRecorder::OutputEvaluator make_truth_evaluator(
 /// responsible for installing/uninstalling the process-global tracer
 /// pointer (the library's trace points read obs::tracer()).
 struct Session::TraceSink {
+  // tmwia-lint: allow(durable-write) streaming event sink, not a one-shot artifact
   std::ofstream out;
   std::unique_ptr<obs::Tracer> tracer;
 
@@ -53,6 +56,7 @@ struct Session::TraceSink {
 /// the process-global obs::recorder() slot, with the truth-closing
 /// output evaluator installed so phase summaries carry discrepancy.
 struct Session::RecordSink {
+  // tmwia-lint: allow(durable-write) streaming event sink, not a one-shot artifact
   std::ofstream out;
   std::unique_ptr<obs::FlightRecorder> recorder;
 
@@ -161,11 +165,10 @@ void Session::build() {
 
 core::RunReport Session::finish(core::RunReport report) {
   if (!metrics_path_.empty()) {
-    std::ofstream out(metrics_path_);
-    if (!out) {
-      throw std::runtime_error("Session: cannot open metrics sink '" + metrics_path_ + "'");
-    }
+    // One-shot artifact: a reader never sees a torn metrics file.
+    std::ostringstream out;
     out << report.metrics.to_json() << '\n';
+    io::atomic_write_file(metrics_path_, out.str());
   }
   if (trace_ != nullptr) trace_->tracer->flush();
   if (record_ != nullptr) record_->recorder->flush();

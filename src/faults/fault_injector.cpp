@@ -1,5 +1,8 @@
 #include "tmwia/faults/fault_injector.hpp"
 
+#include <csignal>
+#include <stdexcept>
+
 namespace tmwia::faults {
 namespace {
 
@@ -120,6 +123,77 @@ FaultReport FaultInjector::report() const {
   r.degraded = flagged(degraded_);
   r.orphaned = flagged(orphaned_);
   return r;
+}
+
+void FaultInjector::maybe_kill(std::uint64_t cum_round) {
+  if (plan_.kill_at_round == kNever || cum_round < plan_.kill_at_round) return;
+  // Die like a real shard: SIGKILL runs no handlers, no destructors,
+  // flushes nothing. Anything not already checkpointed is gone.
+  (void)std::raise(SIGKILL);
+}
+
+namespace {
+
+std::vector<std::uint64_t> load_all(const std::vector<std::atomic<std::uint64_t>>& cells) {
+  std::vector<std::uint64_t> out(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out[i] = cells[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> load_flags(const std::vector<std::atomic<std::uint8_t>>& cells) {
+  std::vector<std::uint8_t> out(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out[i] = cells[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+template <typename T>
+void store_all(std::vector<std::atomic<T>>& cells, const std::vector<T>& values) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cells[i].store(values[i], std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+FaultInjector::State FaultInjector::export_state() const {
+  State st;
+  st.attempts = load_all(attempts_);
+  st.post_seq = load_all(post_seq_);
+  st.down = load_flags(down_);
+  st.degraded = load_flags(degraded_);
+  st.orphaned = load_flags(orphaned_);
+  st.was_crashed = load_flags(was_crashed_);
+  st.was_recovered = load_flags(was_recovered_);
+  st.probe_failures = probe_failures_.load(std::memory_order_relaxed);
+  st.retries = retries_.load(std::memory_order_relaxed);
+  st.fallback_reads = fallback_reads_.load(std::memory_order_relaxed);
+  st.posts_dropped = posts_dropped_.load(std::memory_order_relaxed);
+  st.posts_delayed = posts_delayed_.load(std::memory_order_relaxed);
+  return st;
+}
+
+void FaultInjector::restore_state(const State& st) {
+  if (st.attempts.size() != n_ || st.post_seq.size() != n_ || st.down.size() != n_ ||
+      st.degraded.size() != n_ || st.orphaned.size() != n_ || st.was_crashed.size() != n_ ||
+      st.was_recovered.size() != n_) {
+    throw std::invalid_argument("FaultInjector::restore_state: player count mismatch");
+  }
+  store_all(attempts_, st.attempts);
+  store_all(post_seq_, st.post_seq);
+  store_all(down_, st.down);
+  store_all(degraded_, st.degraded);
+  store_all(orphaned_, st.orphaned);
+  store_all(was_crashed_, st.was_crashed);
+  store_all(was_recovered_, st.was_recovered);
+  probe_failures_.store(st.probe_failures, std::memory_order_relaxed);
+  retries_.store(st.retries, std::memory_order_relaxed);
+  fallback_reads_.store(st.fallback_reads, std::memory_order_relaxed);
+  posts_dropped_.store(st.posts_dropped, std::memory_order_relaxed);
+  posts_delayed_.store(st.posts_delayed, std::memory_order_relaxed);
 }
 
 std::uint64_t FaultInjector::channel_tag(std::string_view channel) {

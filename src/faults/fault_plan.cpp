@@ -87,6 +87,8 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
       if (at == std::string_view::npos) bad("'" + clause_str + "' needs RATE@ROUNDS");
       plan.post_delay_rate = parse_rate(value.substr(0, at), clause_str);
       plan.post_delay_rounds = parse_u64(value.substr(at + 1), clause_str);
+    } else if (key == "kill") {
+      plan.kill_at_round = parse_u64(value, clause_str);
     } else {
       bad("unknown clause '" + clause_str + "'");
     }

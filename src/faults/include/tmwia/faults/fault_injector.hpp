@@ -106,6 +106,30 @@ class FaultInjector {
   /// FNV-1a hash of a channel name, for post_lost tags.
   static std::uint64_t channel_tag(std::string_view channel);
 
+  /// Kill switch for durability drills: when the plan carries
+  /// kill=R and `cum_round >= R`, raise SIGKILL — the process dies
+  /// exactly as a crashed shard would, with no destructors and no
+  /// flushing. Checkpoint cadence code calls this *after* a checkpoint
+  /// write so the drill always has a file to resume from.
+  void maybe_kill(std::uint64_t cum_round);
+
+  /// Every mutable cursor of the injector, for checkpointing. The
+  /// resolved crash windows are not part of the state — they are a pure
+  /// function of the plan, recomputed on construction.
+  struct State {
+    std::vector<std::uint64_t> attempts;
+    std::vector<std::uint64_t> post_seq;
+    std::vector<std::uint8_t> down, degraded, orphaned, was_crashed, was_recovered;
+    std::uint64_t probe_failures = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t fallback_reads = 0;
+    std::uint64_t posts_dropped = 0;
+    std::uint64_t posts_delayed = 0;
+  };
+  [[nodiscard]] State export_state() const;
+  /// Throws std::invalid_argument on player-count mismatch.
+  void restore_state(const State& st);
+
  private:
   FaultPlan plan_;
   std::size_t n_;

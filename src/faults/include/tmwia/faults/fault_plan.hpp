@@ -58,6 +58,8 @@ struct CrashWindow {
 ///   retry=N         retry budget per logical probe        (default 3)
 ///   drop=R          each billboard post is lost w.p. R
 ///   delay=R@K       each surviving post is delayed K rounds w.p. R
+///   kill=R          SIGKILL the whole process at cumulative round R
+///                   (checkpoint/resume drills; fires at most once)
 ///
 /// Example: --faults=seed=7,crash=0.2@16-64,probe=0.05,retry=3,drop=0.1
 struct FaultPlan {
@@ -82,10 +84,15 @@ struct FaultPlan {
   double post_delay_rate = 0.0;
   std::uint64_t post_delay_rounds = 0;
 
+  /// Process kill switch: SIGKILL at the first checkpoint boundary whose
+  /// cumulative round count reaches this value (kNever: off). Drives the
+  /// kill/resume durability drills; deterministic, fires at most once.
+  std::uint64_t kill_at_round = kNever;
+
   /// Does this plan inject anything at all?
   [[nodiscard]] bool any() const {
     return crash_rate > 0.0 || !explicit_crashes.empty() || probe_fail_rate > 0.0 ||
-           post_drop_rate > 0.0 || post_delay_rate > 0.0;
+           post_drop_rate > 0.0 || post_delay_rate > 0.0 || kill_at_round != kNever;
   }
 
   static FaultPlan none() { return {}; }

@@ -1,0 +1,278 @@
+#include "tmwia/io/checkpoint.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace tmwia::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'M', 'W', 'I', 'A', 'C', 'P', '1'};
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+[[noreturn]] void fail(const std::string& what) { throw CheckpointError(what); }
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// BinWriter / BinReader
+// ---------------------------------------------------------------------------
+
+void BinWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+void BinWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+void BinWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void BinWriter::str(std::string_view s) {
+  u64(s.size());
+  buf_.append(s.data(), s.size());
+}
+
+void BinWriter::bitvec(const bits::BitVector& v) {
+  u64(v.size());
+  for (const auto w : v.words()) u64(w);
+}
+
+const char* BinReader::need(std::size_t n) {
+  if (buf_.size() - pos_ < n) {
+    fail(context_ + ": truncated (need " + std::to_string(n) + " bytes, have " +
+         std::to_string(buf_.size() - pos_) + ")");
+  }
+  const char* p = buf_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t BinReader::u8() { return static_cast<std::uint8_t>(*need(1)); }
+
+std::uint32_t BinReader::u32() {
+  const auto* p = reinterpret_cast<const unsigned char*>(need(4));
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t BinReader::u64() {
+  const auto* p = reinterpret_cast<const unsigned char*>(need(8));
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double BinReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string BinReader::str() {
+  const std::uint64_t n = u64();
+  if (n > remaining()) fail(context_ + ": truncated string of length " + std::to_string(n));
+  return std::string(need(static_cast<std::size_t>(n)), static_cast<std::size_t>(n));
+}
+
+bits::BitVector BinReader::bitvec() {
+  const std::uint64_t n = u64();
+  const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+  if (words * 8 > remaining()) fail(context_ + ": truncated bit vector of size " + std::to_string(n));
+  bits::BitVector v(static_cast<std::size_t>(n));
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t word = u64();
+    for (std::size_t b = 0; b < 64; ++b) {
+      const std::size_t i = w * 64 + b;
+      if (i >= v.size()) break;
+      if ((word >> b) & 1u) v.set(i, true);
+    }
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// atomic_write_file
+// ---------------------------------------------------------------------------
+
+void atomic_write_file(const std::string& path, std::string_view bytes) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = (slash == std::string::npos) ? "." : path.substr(0, slash);
+  const std::string tmp = path + ".tmp";
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("atomic_write_file: cannot create " + tmp + ": " +
+                             std::strerror(errno));
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ::ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw std::runtime_error("atomic_write_file: write to " + tmp + " failed: " +
+                               std::strerror(err));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // The data must be durable *before* the rename publishes it, or a
+  // crash could expose a renamed-but-empty file.
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("atomic_write_file: fsync/close of " + tmp + " failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("atomic_write_file: rename to " + path + " failed: " +
+                             std::strerror(err));
+  }
+  // Best-effort directory sync so the rename itself is durable.
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint container
+// ---------------------------------------------------------------------------
+
+void Checkpoint::set(const std::string& name, std::string bytes) {
+  sections_[name] = std::move(bytes);
+}
+
+bool Checkpoint::has(const std::string& name) const { return sections_.count(name) > 0; }
+
+const std::string& Checkpoint::require(const std::string& name) const {
+  const auto it = sections_.find(name);
+  if (it == sections_.end()) fail("checkpoint: missing section '" + name + "'");
+  return it->second;
+}
+
+std::vector<std::string> Checkpoint::names() const {
+  std::vector<std::string> out;
+  out.reserve(sections_.size());
+  for (const auto& [name, bytes] : sections_) out.push_back(name);
+  return out;
+}
+
+std::string Checkpoint::encode() const {
+  std::string body(kMagic, sizeof(kMagic));
+  {
+    BinWriter w;
+    w.u32(kVersion);
+    w.u32(static_cast<std::uint32_t>(sections_.size()));
+    body.append(w.bytes());
+  }
+  for (const auto& [name, bytes] : sections_) {
+    BinWriter w;
+    w.u32(static_cast<std::uint32_t>(name.size()));
+    body.append(w.bytes());
+    body.append(name);
+    BinWriter tail;
+    tail.u64(bytes.size());
+    tail.u32(crc32(bytes.data(), bytes.size()));
+    body.append(tail.bytes());
+    body.append(bytes);
+  }
+  BinWriter footer;
+  footer.u32(crc32(body.data(), body.size()));
+  body.append(footer.bytes());
+  return body;
+}
+
+void Checkpoint::save(const std::string& path) const { atomic_write_file(path, encode()); }
+
+Checkpoint Checkpoint::decode(std::string_view bytes) {
+  if (bytes.size() < sizeof(kMagic) + 4 + 4 + 4) fail("checkpoint: file too short");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    fail("checkpoint: bad magic (not a TMWIACP1 file)");
+  }
+  const std::string_view body = bytes.substr(0, bytes.size() - 4);
+  BinReader footer(bytes.substr(bytes.size() - 4), "checkpoint footer");
+  const std::uint32_t want = footer.u32();
+  const std::uint32_t got = crc32(body.data(), body.size());
+  if (want != got) fail("checkpoint: file CRC mismatch (corrupt or torn write)");
+
+  BinReader r(body.substr(sizeof(kMagic)), "checkpoint header");
+  const std::uint32_t version = r.u32();
+  if (version != kVersion) {
+    fail("checkpoint: unsupported version " + std::to_string(version) + " (expected " +
+         std::to_string(kVersion) + ")");
+  }
+  const std::uint32_t count = r.u32();
+  Checkpoint cp;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t name_len = r.u32();
+    if (name_len > r.remaining()) fail("checkpoint: truncated section name");
+    std::string name;
+    for (std::uint32_t k = 0; k < name_len; ++k) name.push_back(static_cast<char>(r.u8()));
+    const std::uint64_t payload_len = r.u64();
+    const std::uint32_t payload_crc = r.u32();
+    if (payload_len > r.remaining()) {
+      fail("checkpoint: truncated section '" + name + "'");
+    }
+    std::string payload;
+    payload.reserve(static_cast<std::size_t>(payload_len));
+    for (std::uint64_t k = 0; k < payload_len; ++k) payload.push_back(static_cast<char>(r.u8()));
+    if (crc32(payload.data(), payload.size()) != payload_crc) {
+      fail("checkpoint: section '" + name + "' CRC mismatch");
+    }
+    cp.sections_[name] = std::move(payload);
+  }
+  if (!r.at_end()) fail("checkpoint: trailing garbage after sections");
+  return cp;
+}
+
+Checkpoint Checkpoint::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) fail("checkpoint: cannot open " + path);
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+  const bool read_err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_err) fail("checkpoint: read error on " + path);
+  try {
+    return decode(bytes);
+  } catch (const CheckpointError& e) {
+    fail(std::string(e.what()) + " [" + path + "]");
+  }
+}
+
+}  // namespace tmwia::io

@@ -404,6 +404,18 @@ void FlightRecorder::flush() {
   out_.flush();
 }
 
+std::uint64_t FlightRecorder::clock() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return clock_;
+}
+
+void FlightRecorder::resume_run(std::size_t players, std::uint64_t clock) {
+  std::lock_guard<std::mutex> lk(mu_);
+  clock_ = clock;
+  depth_ = 1;  // re-open the checkpointed run scope silently
+  if (stages_.size() < players) stages_.resize(players);
+}
+
 FlightRecorder* recorder() { return g_recorder.load(std::memory_order_relaxed); }
 
 void set_recorder(FlightRecorder* r) { g_recorder.store(r, std::memory_order_release); }

@@ -180,6 +180,20 @@ class FlightRecorder {
   /// Drain any remaining staged events and flush the sink.
   void flush();
 
+  // ---- checkpoint splice -------------------------------------------
+
+  /// Current logical clock (the `t` the next emission would get). Only
+  /// meaningful at serial points; checkpoints store it so a resumed
+  /// recorder continues the same timeline.
+  [[nodiscard]] std::uint64_t clock();
+
+  /// Re-enter a previously checkpointed run without emitting run_begin:
+  /// restores the logical clock, opens one run scope, and sizes the
+  /// per-player stages. The resumed stream, appended to the checkpoint
+  /// prefix of the original log, is byte-identical to an uninterrupted
+  /// run — the splice contract run_tests.sh --kill-resume verifies.
+  void resume_run(std::size_t players, std::uint64_t clock);
+
   [[nodiscard]] std::uint64_t events_written() const {
     return written_.load(std::memory_order_relaxed);
   }

@@ -148,6 +148,13 @@ class MetricsRegistry {
   /// valid. Call at quiescent points only.
   void reset();
 
+  /// Reset, then re-register and re-load every metric in `snap` so a
+  /// subsequent snapshot() equals `snap` exactly. Histogram bounds come
+  /// from the snapshot; a name already registered with a different kind
+  /// or bounds throws. Used by checkpoint resume to splice the metrics
+  /// stream. Call at quiescent points only.
+  void restore(const Snapshot& snap);
+
   /// Process-global registry used by the library's built-in
   /// instrumentation. Starts DISABLED; sinks (Session::metrics_sink,
   /// tmwia_cli --metrics=, bench --metrics=) enable it.

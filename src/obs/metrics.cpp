@@ -229,6 +229,29 @@ void MetricsRegistry::reset() {
   for (const auto& [name, cell] : gauges_) cell->store(0, std::memory_order_relaxed);
 }
 
+void MetricsRegistry::restore(const Snapshot& snap) {
+  reset();
+  // Registration is idempotent and validates kind/bounds agreement, so
+  // restoring over live handles is safe; the loads land in this
+  // thread's shard and merge like any other writer's.
+  for (const auto& [name, v] : snap.counters) {
+    const Counter c = counter(name);
+    if (v != 0) slot_add(c.slot_, v);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const Histogram hist = histogram(name, h.bounds);
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] != 0) {
+        slot_add(hist.base_ + static_cast<std::uint32_t>(b), h.buckets[b]);
+      }
+    }
+    if (h.sum != 0) {
+      slot_add(hist.base_ + static_cast<std::uint32_t>(h.bounds.size()) + 1, h.sum);
+    }
+  }
+  for (const auto& [name, v] : snap.gauges) set_gauge(name, v);
+}
+
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry reg(/*enabled=*/false);
   return reg;

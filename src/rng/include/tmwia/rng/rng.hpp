@@ -90,6 +90,17 @@ class Rng {
   /// Fair coin.
   bool coin() { return (next() >> 63) != 0; }
 
+  /// The raw engine state, for checkpointing. Restoring via
+  /// from_state() resumes the stream exactly where state() froze it.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const { return state_; }
+
+  /// Rebuild a generator from a state() snapshot.
+  static Rng from_state(const std::array<std::uint64_t, 4>& s) {
+    Rng r;
+    r.state_ = s;
+    return r;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,394 @@
+// Tests for the durability layer: wire helpers, the CRC-guarded
+// sectioned container (corruption must reject the whole file, never
+// load partially), atomic file replacement, RunReport/RunCheckpoint
+// serialization round-trips, and the tentpole property — a run resumed
+// from a mid-run checkpoint is byte-identical to the uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tmwia/billboard/billboard.hpp"
+#include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/core/checkpoint.hpp"
+#include "tmwia/core/find_preferences.hpp"
+#include "tmwia/faults/fault_injector.hpp"
+#include "tmwia/faults/fault_plan.hpp"
+#include "tmwia/io/checkpoint.hpp"
+#include "tmwia/matrix/generators.hpp"
+#include "tmwia/obs/metrics.hpp"
+
+namespace tmwia {
+namespace {
+
+TEST(BinWire, RoundTripsEveryType) {
+  io::BinWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.str("hello \0 world");  // NOLINT(bugprone-string-literal-with-embedded-nul)
+  bits::BitVector v(131);
+  v.set(0, true);
+  v.set(64, true);
+  v.set(130, true);
+  w.bitvec(v);
+
+  io::BinReader r(w.bytes(), "test");
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), std::string("hello "));  // literal truncates at NUL
+  const auto back = r.bitvec();
+  EXPECT_EQ(back.size(), 131u);
+  EXPECT_TRUE(back.get(0));
+  EXPECT_TRUE(back.get(64));
+  EXPECT_TRUE(back.get(130));
+  EXPECT_FALSE(back.get(1));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BinWire, ReaderThrowsOnTruncation) {
+  io::BinWriter w;
+  w.u64(7);
+  const auto bytes = w.bytes().substr(0, 3);
+  io::BinReader r(bytes, "trunc");
+  EXPECT_THROW(r.u64(), io::CheckpointError);
+}
+
+TEST(Crc32, MatchesKnownVector) {
+  // IEEE CRC-32 of "123456789" is the classic check value.
+  EXPECT_EQ(io::crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_NE(io::crc32("123456788", 9), io::crc32("123456789", 9));
+}
+
+TEST(AtomicWrite, ReplacesFileAndLeavesNoTmp) {
+  const std::string path = testing::TempDir() + "atomic_write_test.bin";
+  io::atomic_write_file(path, "first");
+  io::atomic_write_file(path, "second");
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "second");
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointContainer, RoundTripsSections) {
+  io::Checkpoint cp;
+  cp.set("alpha", "payload-a");
+  cp.set("beta", std::string("\0\x01\x02", 3));
+  cp.set("gamma", "");
+  const auto bytes = cp.encode();
+
+  const auto back = io::Checkpoint::decode(bytes);
+  EXPECT_EQ(back.names(), (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  EXPECT_EQ(back.require("alpha"), "payload-a");
+  EXPECT_EQ(back.require("beta"), std::string("\0\x01\x02", 3));
+  EXPECT_EQ(back.require("gamma"), "");
+  EXPECT_TRUE(back.has("alpha"));
+  EXPECT_FALSE(back.has("delta"));
+  EXPECT_THROW(back.require("delta"), io::CheckpointError);
+}
+
+TEST(CheckpointContainer, RejectsCorruptionWhole) {
+  io::Checkpoint cp;
+  cp.set("state", std::string(1000, 'x'));
+  cp.set("meta", "m");
+  const auto bytes = cp.encode();
+
+  // Truncation at every structural boundary region: never a partial load.
+  for (const std::size_t cut : {0ul, 7ul, 11ul, 20ul, bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_THROW(io::Checkpoint::decode(bytes.substr(0, cut)), io::CheckpointError)
+        << "cut at " << cut;
+  }
+  // A flipped byte anywhere must fail the footer or section CRC.
+  for (const std::size_t pos : {0ul, 8ul, 16ul, bytes.size() / 2, bytes.size() - 2}) {
+    auto bad = bytes;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0xFF);
+    EXPECT_THROW(io::Checkpoint::decode(bad), io::CheckpointError) << "flip at " << pos;
+  }
+  // Wrong magic.
+  auto wrong = bytes;
+  wrong[0] = 'X';
+  EXPECT_THROW(io::Checkpoint::decode(wrong), io::CheckpointError);
+  // Trailing garbage.
+  EXPECT_THROW(io::Checkpoint::decode(bytes + "junk"), io::CheckpointError);
+}
+
+TEST(CheckpointContainer, SaveLoadRoundTripsThroughDisk) {
+  const std::string path = testing::TempDir() + "container_test.tmw";
+  io::Checkpoint cp;
+  cp.set("only", "section");
+  cp.save(path);
+  const auto back = io::Checkpoint::load(path);
+  EXPECT_EQ(back.require("only"), "section");
+
+  // Corrupt the file on disk: load throws, nothing partial comes back.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);
+    f.put('\x7F');
+  }
+  EXPECT_THROW(io::Checkpoint::load(path), io::CheckpointError);
+  EXPECT_THROW(io::Checkpoint::load(path + ".does-not-exist"), io::CheckpointError);
+  std::remove(path.c_str());
+}
+
+core::RunReport sample_report() {
+  core::RunReport rep;
+  rep.algo = core::RunReport::Algo::kUnknownD;
+  rep.outputs = {bits::BitVector(17), bits::BitVector(17)};
+  rep.outputs[0].set(3, true);
+  rep.outputs[1].set(16, true);
+  rep.rounds = 123;
+  rep.total_probes = 456;
+  rep.chosen_d = {0, 2};
+  rep.guesses = {0, 1, 2, 4};
+  rep.timeline.push_back({"guess:d=0", 10, 20, -1.0, -1.0});
+  rep.timeline.push_back({"guess:d=1", 30, 60, 2.0, 0.5});
+  rep.degraded.quarantined = {1};
+  rep.degraded.unmet_phases = {"phase:0"};
+  rep.metrics.counters["core.probes"] = 456;
+  obs::HistogramData h;
+  h.bounds = {1, 2, 4};
+  h.buckets = {3, 2, 1, 0};
+  h.count = 6;
+  h.sum = 9;
+  rep.metrics.histograms["core.guess_rounds"] = h;
+  rep.metrics.gauges["oracle.total"] = -5;
+  return rep;
+}
+
+TEST(RunReportWire, RoundTripsIncludingHistogramsAndDegraded) {
+  const auto rep = sample_report();
+  io::BinWriter w;
+  core::write_run_report(w, rep);
+  io::BinReader r(w.bytes(), "report");
+  const auto back = core::read_run_report(r);
+  EXPECT_TRUE(r.at_end());
+
+  EXPECT_EQ(back.algo, rep.algo);
+  ASSERT_EQ(back.outputs.size(), 2u);
+  EXPECT_TRUE(back.outputs[0].get(3));
+  EXPECT_TRUE(back.outputs[1].get(16));
+  EXPECT_EQ(back.rounds, rep.rounds);
+  EXPECT_EQ(back.total_probes, rep.total_probes);
+  EXPECT_EQ(back.chosen_d, rep.chosen_d);
+  EXPECT_EQ(back.guesses, rep.guesses);
+  EXPECT_EQ(back.degraded, rep.degraded);
+  EXPECT_EQ(back.metrics.counters.at("core.probes"), 456u);
+  const auto& hb = back.metrics.histograms.at("core.guess_rounds");
+  EXPECT_EQ(hb.bounds, (std::vector<std::uint64_t>{1, 2, 4}));
+  EXPECT_EQ(hb.buckets, (std::vector<std::uint64_t>{3, 2, 1, 0}));
+  EXPECT_EQ(hb.sum, 9u);
+  EXPECT_EQ(back.metrics.gauges.at("oracle.total"), -5);
+  // The JSON projection agrees too (includes the degraded section).
+  EXPECT_EQ(back.to_json(), rep.to_json());
+  EXPECT_NE(rep.to_json().find("\"degraded\""), std::string::npos);
+}
+
+TEST(RunCheckpointWire, RoundTripsFullState) {
+  core::RunCheckpoint ck;
+  ck.alpha = 0.25;
+  ck.players = 2;
+  ck.objects = 17;
+  ck.seq = 3;
+  ck.cum_rounds = 99;
+  ck.recorder_clock = 12345;
+  ck.next_guess = 2;
+  ck.versions = {{bits::BitVector(17), bits::BitVector(17)}};
+  ck.versions[0][1].set(5, true);
+  ck.partial = sample_report();
+  ck.before = {7, 8};
+  ck.probes_before = 15;
+  ck.rng_state = {1, 2, 3, 4};
+  ck.oracle.invocations = {10, 20};
+  ck.oracle.charged = {9, 19};
+  ck.oracle.probed = {bits::BitVector(17), bits::BitVector(17)};
+  ck.oracle.values = {bits::BitVector(17), bits::BitVector(17)};
+  ck.oracle.probed[0].set(2, true);
+  ck.oracle.values[0].set(2, true);
+  ck.board.push_back({"votes", {{0, bits::BitVector(17)}}});
+  ck.has_injector = true;
+  ck.injector.attempts = {4, 5};
+  ck.injector.post_seq = {1, 0};
+  ck.injector.down = {0, 1};
+  ck.injector.degraded = {0, 0};
+  ck.injector.orphaned = {1, 0};
+  ck.injector.was_crashed = {0, 1};
+  ck.injector.was_recovered = {0, 0};
+  ck.injector.retries = 2;
+  ck.metrics_enabled = false;
+  ck.harness = {{"faults", "seed=1"}, {"profile", "practical"}};
+
+  const auto bytes = core::encode_run_checkpoint(ck);
+  const auto back = core::decode_run_checkpoint(bytes);
+  EXPECT_EQ(back.algo, "unknown_d");
+  EXPECT_DOUBLE_EQ(back.alpha, 0.25);
+  EXPECT_EQ(back.players, 2u);
+  EXPECT_EQ(back.objects, 17u);
+  EXPECT_EQ(back.seq, 3u);
+  EXPECT_EQ(back.cum_rounds, 99u);
+  EXPECT_EQ(back.recorder_clock, 12345u);
+  EXPECT_EQ(back.next_guess, 2u);
+  ASSERT_EQ(back.versions.size(), 1u);
+  EXPECT_TRUE(back.versions[0][1].get(5));
+  EXPECT_EQ(back.partial.to_json(), ck.partial.to_json());
+  EXPECT_EQ(back.before, (std::vector<std::uint64_t>{7, 8}));
+  EXPECT_EQ(back.probes_before, 15u);
+  EXPECT_EQ(back.rng_state, (std::array<std::uint64_t, 4>{1, 2, 3, 4}));
+  EXPECT_EQ(back.oracle.invocations, (std::vector<std::uint64_t>{10, 20}));
+  EXPECT_TRUE(back.oracle.probed[0].get(2));
+  ASSERT_EQ(back.board.size(), 1u);
+  EXPECT_EQ(back.board[0].channel, "votes");
+  EXPECT_TRUE(back.has_injector);
+  EXPECT_EQ(back.injector.attempts, (std::vector<std::uint64_t>{4, 5}));
+  EXPECT_EQ(back.injector.down, (std::vector<std::uint8_t>{0, 1}));
+  EXPECT_EQ(back.injector.retries, 2u);
+  EXPECT_EQ(back.harness_value("faults"), "seed=1");
+  EXPECT_EQ(back.harness_value("profile"), "practical");
+  EXPECT_EQ(back.harness_value("absent"), "");
+
+  // Corruption of the container is rejected whole.
+  auto bad = bytes;
+  bad[bytes.size() / 2] = static_cast<char>(bad[bytes.size() / 2] ^ 0x40);
+  EXPECT_THROW(core::decode_run_checkpoint(bad), io::CheckpointError);
+}
+
+// The tentpole: cut checkpoints mid-run, then resume each one in a
+// fresh world — every resumed run must match the uninterrupted run
+// byte-for-byte (outputs and report JSON).
+TEST(CheckpointResume, ResumedRunIsByteIdentical) {
+  rng::Rng gen(21);
+  const auto inst = matrix::planted_community(24, 48, {0.5, 1}, gen);
+  const auto params = core::Params::practical();
+  const double alpha = 0.5;
+
+  billboard::ProbeOracle oracle(inst.matrix);
+  billboard::Billboard board;
+  std::vector<core::RunCheckpoint> cuts;
+  core::CheckpointPolicy policy;
+  policy.every_rounds = 40;
+  policy.sink = [&cuts](const core::RunCheckpoint& ck) { cuts.push_back(ck); };
+  const auto reference = core::find_preferences_unknown_d(oracle, &board, alpha, params,
+                                                          rng::Rng(31), policy);
+  ASSERT_GE(cuts.size(), 2u) << "cadence produced too few checkpoints to test";
+
+  for (const auto& cut : cuts) {
+    billboard::ProbeOracle oracle2(inst.matrix);
+    billboard::Billboard board2;
+    core::CheckpointPolicy resume_policy;
+    resume_policy.every_rounds = policy.every_rounds;
+    const auto resumed =
+        core::resume_unknown_d(oracle2, &board2, params, cut, resume_policy);
+    EXPECT_EQ(resumed.to_json(), reference.to_json()) << "cut seq " << cut.seq;
+    ASSERT_EQ(resumed.outputs.size(), reference.outputs.size());
+    for (std::size_t p = 0; p < reference.outputs.size(); ++p) {
+      EXPECT_EQ(resumed.outputs[p].hash(), reference.outputs[p].hash())
+          << "cut seq " << cut.seq << " player " << p;
+    }
+    EXPECT_EQ(oracle2.total_invocations(), oracle.total_invocations());
+    EXPECT_EQ(oracle2.max_invocations(), oracle.max_invocations());
+  }
+}
+
+// Same property with a fault plan attached: the injector state travels
+// through the checkpoint.
+TEST(CheckpointResume, ResumesUnderFaults) {
+  rng::Rng gen(22);
+  const auto inst = matrix::planted_community(24, 48, {0.5, 1}, gen);
+  const auto params = core::Params::practical();
+  const auto plan = faults::FaultPlan::parse("seed=5,probe=0.05,retry=2");
+
+  billboard::ProbeOracle oracle(inst.matrix);
+  faults::FaultInjector injector(plan, inst.matrix.players());
+  oracle.set_fault_injector(&injector);
+  billboard::Billboard board;
+  std::vector<core::RunCheckpoint> cuts;
+  core::CheckpointPolicy policy;
+  policy.every_rounds = 60;
+  policy.sink = [&cuts](const core::RunCheckpoint& ck) { cuts.push_back(ck); };
+  const auto reference =
+      core::find_preferences_unknown_d(oracle, &board, 0.5, params, rng::Rng(33), policy);
+  ASSERT_GE(cuts.size(), 1u);
+
+  const auto& cut = cuts[cuts.size() / 2];
+  EXPECT_TRUE(cut.has_injector);
+  billboard::ProbeOracle oracle2(inst.matrix);
+  faults::FaultInjector injector2(plan, inst.matrix.players());
+  oracle2.set_fault_injector(&injector2);
+  billboard::Billboard board2;
+  core::CheckpointPolicy resume_policy;
+  resume_policy.every_rounds = policy.every_rounds;
+  const auto resumed = core::resume_unknown_d(oracle2, &board2, params, cut, resume_policy);
+  EXPECT_EQ(resumed.to_json(), reference.to_json());
+
+  // Resuming without the injector the checkpoint expects is an error.
+  billboard::ProbeOracle oracle3(inst.matrix);
+  billboard::Billboard board3;
+  EXPECT_THROW(core::resume_unknown_d(oracle3, &board3, params, cut, resume_policy),
+               std::invalid_argument);
+}
+
+TEST(CheckpointResume, RejectsShapeMismatch) {
+  rng::Rng gen(23);
+  const auto inst = matrix::planted_community(16, 32, {0.5, 0}, gen);
+  const auto params = core::Params::practical();
+  billboard::ProbeOracle oracle(inst.matrix);
+  billboard::Billboard board;
+  std::vector<core::RunCheckpoint> cuts;
+  core::CheckpointPolicy policy;
+  policy.every_rounds = 20;
+  policy.sink = [&cuts](const core::RunCheckpoint& ck) { cuts.push_back(ck); };
+  (void)core::find_preferences_unknown_d(oracle, &board, 0.5, params, rng::Rng(41), policy);
+  ASSERT_GE(cuts.size(), 1u);
+
+  rng::Rng gen2(24);
+  const auto other = matrix::planted_community(8, 32, {0.5, 0}, gen2);
+  billboard::ProbeOracle wrong(other.matrix);
+  billboard::Billboard wb;
+  EXPECT_THROW(core::resume_unknown_d(wrong, &wb, params, cuts[0], policy),
+               std::invalid_argument);
+
+  auto tampered = cuts[0];
+  tampered.algo = "anytime";
+  EXPECT_THROW(core::resume_unknown_d(oracle, &board, params, tampered, policy),
+               std::invalid_argument);
+}
+
+TEST(CheckpointResume, FileRoundTripPreservesResume) {
+  rng::Rng gen(25);
+  const auto inst = matrix::planted_community(16, 32, {0.5, 0}, gen);
+  const auto params = core::Params::practical();
+  billboard::ProbeOracle oracle(inst.matrix);
+  billboard::Billboard board;
+  const std::string path = testing::TempDir() + "resume_file_test.tmw";
+  core::CheckpointPolicy policy;
+  policy.every_rounds = 30;
+  policy.sink = [&path](const core::RunCheckpoint& ck) {
+    core::save_run_checkpoint(path, ck);
+  };
+  const auto reference =
+      core::find_preferences_unknown_d(oracle, &board, 0.5, params, rng::Rng(51), policy);
+
+  const auto loaded = core::load_run_checkpoint(path);
+  billboard::ProbeOracle oracle2(inst.matrix);
+  billboard::Billboard board2;
+  core::CheckpointPolicy resume_policy;
+  resume_policy.every_rounds = policy.every_rounds;
+  const auto resumed =
+      core::resume_unknown_d(oracle2, &board2, params, loaded, resume_policy);
+  EXPECT_EQ(resumed.to_json(), reference.to_json());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tmwia

@@ -124,4 +124,93 @@ if "$CLI" run --in="$DIR/world.tmw" --algo=solo --faults=warp=0.5 \
   exit 1
 fi
 
+# --- Exit codes are a documented contract (run `tmwia_cli --help`). ---
+# 0 ok, 1 runtime error, 2 usage, 3 audit failure, 4 degraded run,
+# 5 corrupt checkpoint. Assert each one.
+expect_exit() {
+  local want="$1"
+  shift
+  local got=0
+  "$@" >/dev/null 2>&1 || got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "expected exit $want, got $got: $*" >&2
+    exit 1
+  fi
+}
+
+expect_exit 2 "$CLI"
+expect_exit 2 "$CLI" frobnicate
+expect_exit 2 "$CLI" run --in="$DIR/world.tmw" --algo=solo --bogus=1 --out=/dev/null
+expect_exit 2 "$CLI" run --in="$DIR/world.tmw" --algo=nonsense --out=/dev/null
+expect_exit 1 "$CLI" info --in="$DIR/missing.tmw"
+
+# 3: replay audit failure. Tamper the recorded run_end totals; the
+# replayer's cross-check must notice.
+sed '$s/"a":[0-9][0-9]*/"a":999999999/' "$DIR/r1.jsonl" >"$DIR/r1_tampered.jsonl"
+expect_exit 3 "$CLI" replay --log="$DIR/r1_tampered.jsonl"
+
+# --- Durability: checkpoint, SIGKILL, resume, byte-identical splice. ---
+"$CLI" gen --kind=planted --n=64 --m=128 --alpha=0.5 --radius=1 --seed=7 \
+       --out="$DIR/w2.tmw" >/dev/null
+
+# Reference: the uninterrupted run, checkpointing on the same cadence
+# (and under the same fault seed) so its event stream is comparable.
+"$CLI" run --in="$DIR/w2.tmw" --algo=unknown_d --alpha=0.5 --seed=11 \
+       --checkpoint-every=50 --faults=seed=1 --record="$DIR/ref.jsonl" \
+       --report="$DIR/ref_report.json" --out="$DIR/ref_out.txt" >/dev/null
+grep -q '"label":"ckpt"' "$DIR/ref.jsonl"
+
+# Same run, but the fault plan SIGKILLs the process mid-phase (137 =
+# 128 + SIGKILL). The cadence guarantees a resumable file exists.
+expect_exit 137 "$CLI" run --in="$DIR/w2.tmw" --algo=unknown_d --alpha=0.5 --seed=11 \
+       --checkpoint="$DIR/ck.tmw" --checkpoint-every=50 \
+       --faults=seed=1,kill=2000 --record="$DIR/dead.jsonl" --out=/dev/null
+test -s "$DIR/ck.tmw"
+
+# Resume picks up from the snapshot and finishes the run.
+"$CLI" resume --checkpoint="$DIR/ck.tmw" --in="$DIR/w2.tmw" \
+       --record="$DIR/res.jsonl" --report="$DIR/res_report.json" \
+       --out="$DIR/res_out.txt" >"$DIR/resume.txt"
+grep -q "resumed from checkpoint seq" "$DIR/resume.txt"
+
+# Tentpole property: outputs and report match the uninterrupted run,
+# and the reference log equals [prefix up to the snapshot's ckpt note]
+# + [resumed log] byte for byte.
+cmp "$DIR/ref_out.txt" "$DIR/res_out.txt"
+cmp "$DIR/ref_report.json" "$DIR/res_report.json"
+SEQ="$(sed -n 's/.*resumed from checkpoint seq \([0-9][0-9]*\).*/\1/p' "$DIR/resume.txt")"
+CUT="$(grep -n "\"label\":\"ckpt\"" "$DIR/ref.jsonl" | awk -F: -v seq="$SEQ" \
+  '$0 ~ "\"a\":" seq "," {print $1; exit}')"
+test -n "$CUT"
+head -n "$CUT" "$DIR/ref.jsonl" >"$DIR/spliced.jsonl"
+cat "$DIR/res.jsonl" >>"$DIR/spliced.jsonl"
+cmp "$DIR/ref.jsonl" "$DIR/spliced.jsonl"
+
+# 5: a corrupt checkpoint is rejected whole — truncated or bit-flipped,
+# never a partial load.
+head -c 100 "$DIR/ck.tmw" >"$DIR/ck_trunc.tmw"
+expect_exit 5 "$CLI" resume --checkpoint="$DIR/ck_trunc.tmw" --in="$DIR/w2.tmw" --out=/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$DIR/ck.tmw" "$DIR/ck_flip.tmw" <<'EOF'
+import sys
+data = bytearray(open(sys.argv[1], 'rb').read())
+data[len(data) // 2] ^= 0xFF
+open(sys.argv[2], 'wb').write(bytes(data))
+EOF
+  expect_exit 5 "$CLI" resume --checkpoint="$DIR/ck_flip.tmw" --in="$DIR/w2.tmw" --out=/dev/null
+fi
+# --checkpoint without a cadence is a usage error, not a silent no-op.
+expect_exit 2 "$CLI" run --in="$DIR/w2.tmw" --algo=unknown_d --alpha=0.5 --seed=11 \
+       --checkpoint="$DIR/nope.tmw" --out=/dev/null
+
+# --- Supervised (mimic) runs: healthy = 0, quarantine degrades to 4. ---
+"$CLI" run --in="$DIR/w2.tmw" --algo=mimic --seed=5 --phase-rounds=900,900 \
+       --out=/dev/null --report="$DIR/mimic.json" >"$DIR/mimic.txt"
+grep -q "supervisor:" "$DIR/mimic.txt"
+expect_exit 4 "$CLI" run --in="$DIR/w2.tmw" --algo=mimic --seed=5 --faults=seed=2 \
+       --sabotage=3 --phase-rounds=200 --report="$DIR/mimic_deg.json" --out=/dev/null
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.degraded.quarantined == [3]' "$DIR/mimic_deg.json" >/dev/null
+fi
+
 echo "cli workflow OK"

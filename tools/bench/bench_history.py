@@ -164,10 +164,18 @@ def main(argv: list[str]) -> int:
 
     current = load_bench_files(bench_dir)
     if not current:
+        if args.check:
+            # An empty trajectory is a state, not a failure: nothing has
+            # been ingested yet, so there is nothing to regress against.
+            print(f"check: no baseline yet (no BENCH_*.json in {bench_dir})")
+            return 0
         print(f"error: no BENCH_*.json in {bench_dir}", file=sys.stderr)
         return 2
     prior = load_history(history_path)
-    run = 1 + max((p.get("run", 0) for p in prior), default=0)
+    run = 1 + max(
+        (p["run"] for p in prior if isinstance(p.get("run"), (int, float))),
+        default=0,
+    )
 
     with history_path.open("a") as fh:
         for row in current:
@@ -181,6 +189,11 @@ def main(argv: list[str]) -> int:
                   f"wall {row['wall_ms']:g} ms")
 
     if args.check:
+        if not prior:
+            # Missing or empty history file: this run *establishes* the
+            # baseline, so the check is explicitly (not vacuously) green.
+            print("check: no baseline yet (this run establishes it)")
+            return 0
         regressions = check_run(current, prior, budgets)
         if regressions:
             for r in regressions:

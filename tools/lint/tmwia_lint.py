@@ -28,6 +28,12 @@ literals stripped) for constructs that would let those invariants rot:
                            must reach the hidden matrix only through
                            ProbeOracle, which charges probe cost. Use
                            tmwia/matrix/ids.hpp for the id types.
+  durable-write            std::ofstream/std::rename/fsync/fopen outside
+                           src/io in artifact-producing code. Checkpoints
+                           and reports must go through io::atomic_write_file
+                           (tmp + fsync + rename) so a crash or a concurrent
+                           reader never sees a torn file. Streaming event
+                           sinks (trace/record) carry explicit allow pragmas.
   sink-registration        constructing or installing Tracer/FlightRecorder
                            sinks (set_tracer/set_recorder) outside src/obs.
                            The slots are process-global; only designated
@@ -164,6 +170,20 @@ RULES = [
         patterns=(
             r"\bPreferenceMatrix\b",
             r"preference_matrix\.hpp",
+        ),
+    ),
+    Rule(
+        id="durable-write",
+        description="direct ofstream/rename/fsync/fopen writes outside src/io; "
+        "durable artifacts (checkpoints, reports, metrics) must go through "
+        "io::atomic_write_file so a crash never leaves a torn file",
+        dirs=("src", "bench", "tools"),
+        exempt=("src/io",),
+        patterns=(
+            r"\bofstream\b",
+            r"\bstd\s*::\s*rename\s*\(",
+            r"(?<![\w:])fsync\s*\(",
+            r"(?<![\w:])fopen\s*\(",
         ),
     ),
     Rule(

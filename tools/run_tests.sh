@@ -19,11 +19,17 @@
 #              build/bench-history/BENCH_HISTORY.jsonl via
 #              tools/bench/bench_history.py, and --check it against the
 #              best prior run (regression budgets in that script)
+#   kill-resume opt-in: durability drill — checkpoint an e8-scale
+#              unknown_d run, SIGKILL it mid-phase via the kill-at-round
+#              fault, resume from the snapshot, and require the
+#              flight-recorder log spliced at the snapshot round to be
+#              byte-identical to an uninterrupted run. Runs under the
+#              plain and ASan builds, with --threads 1 and 4.
 #
 # Usage:
 #   tools/run_tests.sh [--plain-only|--sanitize-only|--tsan-only]
 #                      [--lint-only] [--audit] [--bench-json]
-#                      [--bench-history] [-j N]
+#                      [--bench-history] [--kill-resume] [-j N]
 #
 # Default runs lint + plain + asan + tsan; all requested stages must pass.
 set -euo pipefail
@@ -37,6 +43,7 @@ RUN_TSAN=1
 RUN_AUDIT=0
 RUN_BENCH_JSON=0
 RUN_BENCH_HISTORY=0
+RUN_KILL_RESUME=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -47,6 +54,7 @@ while [[ $# -gt 0 ]]; do
     --audit) RUN_AUDIT=1 ;;
     --bench-json) RUN_BENCH_JSON=1 ;;
     --bench-history) RUN_BENCH_HISTORY=1 ;;
+    --kill-resume) RUN_KILL_RESUME=1 ;;
     -j) JOBS="$2"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
@@ -142,6 +150,72 @@ if [[ $RUN_BENCH_HISTORY -eq 1 ]]; then
     (cd "$HIST_DIR" && TMWIA_BENCH_DIR="$HIST_DIR" "$b" > "$name.log" 2>&1) || true
   done
   python3 "$ROOT/tools/bench/bench_history.py" --bench-dir "$HIST_DIR" --check
+fi
+
+if [[ $RUN_KILL_RESUME -eq 1 ]]; then
+  echo "== kill/resume determinism =="
+  # The e8 (main theorem) scenario via the CLI: unknown_d on a planted
+  # instance. One reference run records the full flight-recorder log;
+  # a second run with the same seeds is SIGKILLed mid-phase by the
+  # kill-at-round fault, resumed from its last checkpoint, and the
+  # spliced log must equal the reference byte for byte.
+  kill_resume_drill() {
+    local cli="$1" threads="$2" label="$3"
+    echo "-- $label --threads=$threads"
+    local dir
+    dir="$(mktemp -d)"
+    "$cli" gen --kind=planted --n=64 --m=128 --alpha=0.5 --radius=1 --seed=7 \
+      --out="$dir/world.tmw" >/dev/null
+    "$cli" run --in="$dir/world.tmw" --algo=unknown_d --alpha=0.5 --seed=11 \
+      --threads="$threads" --checkpoint-every=50 --faults=seed=1 \
+      --record="$dir/ref.jsonl" --report="$dir/ref.json" \
+      --out="$dir/ref_out.txt" >/dev/null
+    local rc=0
+    # The killed run records too: the flight recorder's logical clock
+    # (and the truth evaluator's timeline numbers) are part of the
+    # checkpointed state a byte-identical resume needs.
+    "$cli" run --in="$dir/world.tmw" --algo=unknown_d --alpha=0.5 --seed=11 \
+      --threads="$threads" --checkpoint="$dir/ck.tmw" --checkpoint-every=50 \
+      --faults=seed=1,kill=2000 --record="$dir/dead.jsonl" \
+      --out=/dev/null >/dev/null 2>&1 || rc=$?
+    if [[ $rc -ne 137 ]]; then
+      echo "kill drill: expected SIGKILL exit 137, got $rc" >&2
+      rm -rf "$dir"
+      return 1
+    fi
+    "$cli" resume --checkpoint="$dir/ck.tmw" --in="$dir/world.tmw" \
+      --threads="$threads" --record="$dir/res.jsonl" --report="$dir/res.json" \
+      --out="$dir/res_out.txt" >"$dir/resume.txt"
+    local seq cut
+    seq="$(sed -n 's/.*resumed from checkpoint seq \([0-9][0-9]*\).*/\1/p' "$dir/resume.txt")"
+    cut="$(grep -n '"label":"ckpt"' "$dir/ref.jsonl" \
+      | awk -F: -v seq="$seq" '$0 ~ "\"a\":" seq "," {print $1; exit}')"
+    if [[ -z "$cut" ]]; then
+      echo "kill drill: no ckpt note for seq $seq in reference log" >&2
+      rm -rf "$dir"
+      return 1
+    fi
+    head -n "$cut" "$dir/ref.jsonl" >"$dir/spliced.jsonl"
+    cat "$dir/res.jsonl" >>"$dir/spliced.jsonl"
+    cmp "$dir/ref.jsonl" "$dir/spliced.jsonl"
+    cmp "$dir/ref_out.txt" "$dir/res_out.txt"
+    cmp "$dir/ref.json" "$dir/res.json"
+    rm -rf "$dir"
+  }
+
+  cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+  cmake --build "$ROOT/build" -j "$JOBS" --target tmwia_cli
+  for t in 1 4; do
+    kill_resume_drill "$ROOT/build/tools/tmwia_cli" "$t" plain
+  done
+
+  cmake -B "$ROOT/build-asan" -S "$ROOT" -DTMWIA_SANITIZE=ON >/dev/null
+  cmake --build "$ROOT/build-asan" -j "$JOBS" --target tmwia_cli
+  for t in 1 4; do
+    ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+    UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    kill_resume_drill "$ROOT/build-asan/tools/tmwia_cli" "$t" asan
+  done
 fi
 
 echo "all requested suites passed"

@@ -24,7 +24,22 @@
 // per-player cost ledger and fault overlay of a recorded run, and
 // `replay` re-drives a fresh billboard shadow + ProtocolAuditor from
 // the events alone, cross-checking the stream against the recorded
-// run_end totals (exit 1 on any violation or mismatch).
+// run_end totals.
+//
+// Durability: `run --checkpoint=FILE --checkpoint-every=R` (unknown_d)
+// cuts a crash-consistent snapshot at guess boundaries every R rounds;
+// `resume --checkpoint=FILE --in=WORLD` continues a killed run to a
+// byte-identical report (DESIGN.md §11). `run --algo=mimic` drives the
+// scheduler under engine::Supervisor (deadlines/backoff/quarantine);
+// with --sabotage=P it demonstrates a degraded-but-complete run.
+//
+// Exit codes (stable; asserted by tests/cli_workflow.sh):
+//   0  success
+//   1  unexpected runtime error
+//   2  usage error (bad flag, bad subcommand, malformed spec)
+//   3  replay/audit failure (protocol violation or total mismatch)
+//   4  run completed degraded (quarantined players / unmet phases)
+//   5  checkpoint file corrupt or unreadable
 //
 // tmwia-lint: allow-file(sink-registration) CLI is a sink registrar:
 // it owns the trace/record sinks it installs for --trace/--record.
@@ -34,12 +49,16 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "tmwia/baselines/baselines.hpp"
 #include "tmwia/billboard/protocol_auditor.hpp"
+#include "tmwia/billboard/strategies.hpp"
+#include "tmwia/core/checkpoint.hpp"
 #include "tmwia/core/session.hpp"
 #include "tmwia/core/tmwia.hpp"
+#include "tmwia/engine/supervisor.hpp"
 #include "tmwia/engine/thread_pool.hpp"
 #include "tmwia/io/args.hpp"
 #include "tmwia/io/serialize.hpp"
@@ -50,12 +69,21 @@ using namespace tmwia;
 
 namespace {
 
+// Documented exit codes (keep in sync with the header comment and
+// DESIGN.md §11).
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitAuditFailed = 3;
+constexpr int kExitDegraded = 4;
+constexpr int kExitCheckpointCorrupt = 5;
+
 // The single source of truth for every flag tmwia_cli accepts: --help
 // is rendered from this table and unknown flags are rejected against
 // it, per subcommand.
 const io::FlagTable& flag_table() {
   static const io::FlagTable table(
-      "usage: tmwia_cli <gen|info|run|eval|inspect|replay> [--key=value ...]  "
+      "usage: tmwia_cli <gen|info|run|resume|eval|inspect|replay> [--key=value ...]  "
       "(or: tmwia_cli --help)",
       {
           {"kind", "K", "instance family: planted|multi|adversarial|markov|lowrank|uniform",
@@ -68,22 +96,33 @@ const io::FlagTable& flag_table() {
           {"noise", "F", "per-entry noise rate for generated instances (default 0.1)",
            "gen"},
           {"seed", "S", "deterministic seed (default 1)", "gen,run"},
-          {"out", "FILE", "output file (instance or estimates)", "gen,run"},
-          {"in", "FILE", "instance file", "info,run,eval"},
-          {"algo", "NAME", "zero|small|large|unknown_d|anytime|solo|knn|svd", "run"},
+          {"out", "FILE", "output file (instance or estimates)", "gen,run,resume"},
+          {"in", "FILE", "instance file", "info,run,resume,eval"},
+          {"algo", "NAME", "zero|small|large|unknown_d|anytime|mimic|solo|knn|svd", "run"},
           {"d", "D", "distance bound for --algo=small|large (default 8)", "run"},
           {"profile", "P", "parameter profile: practical|paper (default practical)", "run"},
           {"budget", "B", "round budget (anytime) / probes per player (knn)", "run"},
           {"rate", "F", "sample rate for --algo=svd (default 0.25)", "run"},
           {"rank", "K", "rank for --algo=svd (default 4)", "run"},
-          {"faults", "SPEC", "fault plan, e.g. seed=S,crash=R@A-B,probe=R,drop=R", "run"},
-          {"metrics", "FILE", "write final metrics snapshot JSON here", "run"},
-          {"trace", "FILE", "write span/event trace JSONL here", "run"},
-          {"record", "FILE", "write the flight-recorder event log here", "run"},
+          {"faults", "SPEC", "fault plan, e.g. seed=S,crash=R@A-B,probe=R,kill=R", "run"},
+          {"metrics", "FILE", "write final metrics snapshot JSON here", "run,resume"},
+          {"trace", "FILE", "write span/event trace JSONL here", "run,resume"},
+          {"record", "FILE", "write the flight-recorder event log here", "run,resume"},
           {"record-format", "F", "recorder wire format: jsonl|binary (default jsonl)",
+           "run,resume"},
+          {"report", "FILE", "write the RunReport (phase timeline) as JSON here",
+           "run,resume"},
+          {"threads", "N", "global thread-pool size (0 = hardware)", "run,resume"},
+          {"checkpoint", "FILE", "checkpoint file (written by run, read+rewritten by "
+           "resume)", "run,resume"},
+          {"checkpoint-every", "R", "checkpoint cadence in rounds (0 = never; resume "
+           "inherits it)", "run"},
+          {"strikes", "K", "mimic: exceptions before quarantine (default 3)", "run"},
+          {"backoff", "R", "mimic: backoff base in rounds (default 1)", "run"},
+          {"phase-rounds", "LIST", "mimic: comma-separated per-phase round budgets",
            "run"},
-          {"report", "FILE", "write the RunReport (phase timeline) as JSON here", "run"},
-          {"threads", "N", "global thread-pool size (0 = hardware)", "run"},
+          {"sabotage", "P", "mimic: make player P's strategy always throw (drill)",
+           "run"},
           {"outputs", "FILE", "estimates file to score", "eval"},
           {"log", "FILE", "flight-recorder log to read", "inspect,replay"},
           {"help", "", "show this help"},
@@ -93,13 +132,81 @@ const io::FlagTable& flag_table() {
 
 int usage() {
   std::cerr << flag_table().help();
-  return 2;
+  return kExitUsage;
 }
 
 std::string require(const io::Args& args, const std::string& key) {
   const auto v = args.get(key);
-  if (!v) throw std::runtime_error("missing required --" + key);
+  if (!v) throw std::invalid_argument("missing required --" + key);
   return *v;
+}
+
+/// One durable line of JSON (report, metrics snapshot): written through
+/// the io atomic-write path so a crash never leaves a torn artifact.
+void write_text_artifact(const std::string& path, std::string text) {
+  text.push_back('\n');
+  io::atomic_write_file(path, text);
+}
+
+/// The trace/record sinks `run` and `resume` both install. The
+/// recorder gets the planted-truth evaluator, so phase summaries carry
+/// real discrepancy numbers (the library only sees the std::function).
+struct ObsSinks {
+  // tmwia-lint: allow(durable-write) streaming event sinks, not one-shot artifacts
+  std::ofstream trace_out;
+  std::unique_ptr<obs::Tracer> tracer;
+  // tmwia-lint: allow(durable-write) streaming event sinks, not one-shot artifacts
+  std::ofstream record_out;
+  std::unique_ptr<obs::FlightRecorder> recorder;
+
+  void open(const io::Args& args, const matrix::Instance& inst) {
+    if (const auto trace_path = args.get("trace"); trace_path.has_value()) {
+      trace_out.open(*trace_path);
+      if (!trace_out) throw std::runtime_error("cannot open --trace file");
+      tracer = std::make_unique<obs::Tracer>(trace_out);
+      obs::set_tracer(tracer.get());
+    }
+    if (const auto record_path = args.get("record"); record_path.has_value()) {
+      const auto fmt_name = args.get("record-format").value_or("jsonl");
+      obs::RecordFormat fmt = obs::RecordFormat::kJsonl;
+      if (fmt_name == "binary") {
+        fmt = obs::RecordFormat::kBinary;
+      } else if (fmt_name != "jsonl") {
+        throw std::invalid_argument("unknown --record-format=" + fmt_name);
+      }
+      record_out.open(*record_path, fmt == obs::RecordFormat::kBinary
+                                        ? std::ios::out | std::ios::binary
+                                        : std::ios::out);
+      if (!record_out) throw std::runtime_error("cannot open --record file");
+      recorder = std::make_unique<obs::FlightRecorder>(record_out, fmt);
+      recorder->set_output_evaluator(make_truth_evaluator(inst.matrix));
+      obs::set_recorder(recorder.get());
+    } else if (args.get("record-format").has_value()) {
+      throw std::invalid_argument("--record-format requires --record");
+    }
+  }
+
+  void finish() {
+    if (tracer != nullptr) {
+      obs::set_tracer(nullptr);
+      tracer->flush();
+    }
+    if (recorder != nullptr) {
+      obs::set_recorder(nullptr);
+      recorder->flush();
+    }
+  }
+};
+
+/// Serial-point metrics export shared by `run` and `resume`.
+void write_metrics_snapshot(const std::string& path, const billboard::ProbeOracle& oracle) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.set_gauge("oracle.total_invocations",
+                static_cast<std::int64_t>(oracle.total_invocations()));
+  reg.set_gauge("oracle.total_charged", static_cast<std::int64_t>(oracle.total_charged()));
+  reg.set_gauge("oracle.max_invocations",
+                static_cast<std::int64_t>(oracle.max_invocations()));
+  write_text_artifact(path, reg.snapshot().to_json());
 }
 
 int cmd_gen(const io::Args& args) {
@@ -127,7 +234,7 @@ int cmd_gen(const io::Args& args) {
   } else if (kind == "uniform") {
     inst = matrix::uniform_random(n, m, rng);
   } else {
-    throw std::runtime_error("unknown --kind=" + kind);
+    throw std::invalid_argument("unknown --kind=" + kind);
   }
 
   io::save_instance_file(inst, require(args, "out"));
@@ -149,6 +256,24 @@ int cmd_info(const io::Args& args) {
   return 0;
 }
 
+/// Failure drill for the supervisor path: every probe decision throws,
+/// so the player strikes out and is quarantined instead of aborting
+/// the run (--sabotage=P).
+class SabotagedStrategy final : public billboard::PlayerStrategy {
+ public:
+  explicit SabotagedStrategy(std::unique_ptr<billboard::PlayerStrategy> inner)
+      : inner_(std::move(inner)) {}
+
+  std::optional<billboard::ObjectId> next_probe(const billboard::RoundView&) override {
+    throw std::runtime_error("sabotaged strategy");
+  }
+  void on_result(billboard::ObjectId, bool) override {}
+  [[nodiscard]] bool done() const override { return inner_->done(); }
+
+ private:
+  std::unique_ptr<billboard::PlayerStrategy> inner_;
+};
+
 int cmd_run(const io::Args& args) {
   const auto inst = io::load_instance_file(require(args, "in"));
   const auto algo = args.get("algo").value_or("unknown_d");
@@ -163,36 +288,8 @@ int cmd_run(const io::Args& args) {
   engine::set_global_threads(static_cast<std::size_t>(args.get_int("threads", 0)));
   const auto metrics_path = args.get("metrics");
   if (metrics_path.has_value()) obs::MetricsRegistry::global().set_enabled(true);
-  std::ofstream trace_out;
-  std::unique_ptr<obs::Tracer> tracer;
-  if (const auto trace_path = args.get("trace"); trace_path.has_value()) {
-    trace_out.open(*trace_path);
-    if (!trace_out) throw std::runtime_error("cannot open --trace file");
-    tracer = std::make_unique<obs::Tracer>(trace_out);
-    obs::set_tracer(tracer.get());
-  }
-  std::ofstream record_out;
-  std::unique_ptr<obs::FlightRecorder> recorder;
-  if (const auto record_path = args.get("record"); record_path.has_value()) {
-    const auto fmt_name = args.get("record-format").value_or("jsonl");
-    obs::RecordFormat fmt = obs::RecordFormat::kJsonl;
-    if (fmt_name == "binary") {
-      fmt = obs::RecordFormat::kBinary;
-    } else if (fmt_name != "jsonl") {
-      throw std::runtime_error("unknown --record-format=" + fmt_name);
-    }
-    record_out.open(*record_path, fmt == obs::RecordFormat::kBinary
-                                      ? std::ios::out | std::ios::binary
-                                      : std::ios::out);
-    if (!record_out) throw std::runtime_error("cannot open --record file");
-    recorder = std::make_unique<obs::FlightRecorder>(record_out, fmt);
-    // The CLI holds the planted truth, so phase summaries get real
-    // max/mean discrepancy (the library only sees the std::function).
-    recorder->set_output_evaluator(make_truth_evaluator(inst.matrix));
-    obs::set_recorder(recorder.get());
-  } else if (args.get("record-format").has_value()) {
-    throw std::runtime_error("--record-format requires --record");
-  }
+  ObsSinks sinks;
+  sinks.open(args, inst);
 
   billboard::ProbeOracle oracle(inst.matrix);
   billboard::Billboard board;
@@ -210,8 +307,104 @@ int cmd_run(const io::Args& args) {
   }
 
   if (algo == "unknown_d") {
-    report =
-        core::find_preferences_unknown_d(oracle, &board, alpha, params, rng::Rng(seed));
+    // Optional durability: cut a crash-consistent snapshot at guess
+    // boundaries every --checkpoint-every rounds. The harness metadata
+    // stored in the file is everything `resume` needs besides the
+    // instance itself (which travels by --in).
+    const auto ckpt_path = args.get("checkpoint");
+    const auto ckpt_every =
+        static_cast<std::uint64_t>(args.get_int("checkpoint-every", 0));
+    if (ckpt_path.has_value() && ckpt_every == 0) {
+      throw std::invalid_argument("--checkpoint requires --checkpoint-every");
+    }
+    core::CheckpointPolicy policy;
+    policy.every_rounds = ckpt_every;
+    std::vector<std::pair<std::string, std::string>> harness;
+    if (const auto spec = args.get("faults"); spec.has_value()) {
+      harness.emplace_back("faults", *spec);
+    }
+    harness.emplace_back("profile", profile);
+    harness.emplace_back("checkpoint_every", std::to_string(ckpt_every));
+    if (ckpt_path.has_value()) {
+      policy.sink = [&ckpt_path, &harness](const core::RunCheckpoint& ck) {
+        core::RunCheckpoint with_meta = ck;
+        with_meta.harness = harness;
+        core::save_run_checkpoint(*ckpt_path, with_meta);
+      };
+    }
+    report = core::find_preferences_unknown_d(oracle, &board, alpha, params,
+                                              rng::Rng(seed), policy);
+  } else if (algo == "mimic") {
+    // Supervised scheduler execution of the mimic heuristic: per-phase
+    // round deadlines, strike/backoff/quarantine on throwing
+    // strategies, and a degraded (never aborted) report.
+    engine::SupervisorConfig scfg;
+    scfg.max_strikes = static_cast<std::size_t>(args.get_int("strikes", 3));
+    scfg.backoff_base = static_cast<std::size_t>(args.get_int("backoff", 1));
+    const auto n = inst.matrix.players();
+    const auto m = inst.matrix.objects();
+
+    std::vector<engine::PhaseSpec> phase_specs;
+    if (const auto list = args.get("phase-rounds"); list.has_value()) {
+      std::istringstream ls(*list);
+      std::string item;
+      while (std::getline(ls, item, ',')) {
+        std::size_t pos = 0;
+        const auto budget = std::stoull(item, &pos);
+        if (pos != item.size() || budget == 0) {
+          throw std::invalid_argument("bad --phase-rounds entry '" + item + "'");
+        }
+        phase_specs.push_back({"phase:" + std::to_string(phase_specs.size()),
+                               static_cast<std::size_t>(budget)});
+      }
+    }
+    if (phase_specs.empty()) phase_specs.push_back({"phase:0", m * 4});
+
+    const rng::Rng root(seed);
+    std::vector<std::unique_ptr<billboard::PlayerStrategy>> strategies;
+    std::vector<const billboard::MimicStrategy*> estimates(n, nullptr);
+    strategies.reserve(n);
+    for (matrix::PlayerId p = 0; p < n; ++p) {
+      auto s = std::make_unique<billboard::MimicStrategy>(
+          p, m, /*sample_budget=*/std::max<std::size_t>(m / 8, 4), /*spot_checks=*/8,
+          root.split(0x31C, p), /*patience=*/16);
+      estimates[p] = s.get();
+      strategies.push_back(std::move(s));
+    }
+    if (const auto sab = args.get("sabotage"); sab.has_value()) {
+      const auto p = static_cast<std::size_t>(args.get_int("sabotage", 0));
+      if (p >= n) throw std::invalid_argument("--sabotage player out of range");
+      strategies[p] = std::make_unique<SabotagedStrategy>(std::move(strategies[p]));
+    }
+
+    engine::Supervisor supervisor(oracle, scfg);
+    const auto sres = supervisor.run(strategies, phase_specs);
+
+    core::RunReport rep;
+    rep.algo = core::RunReport::Algo::kSupervised;
+    rep.rounds = oracle.max_invocations();
+    rep.total_probes = oracle.total_invocations();
+    rep.outputs.reserve(n);
+    for (matrix::PlayerId p = 0; p < n; ++p) rep.outputs.push_back(estimates[p]->estimate());
+    for (const auto& ph : sres.phases) {
+      rep.timeline.push_back({ph.label, ph.cum_rounds, ph.cum_probes, -1.0, -1.0});
+    }
+    rep.degraded.quarantined = sres.quarantined;
+    rep.degraded.unmet_phases = sres.unmet_phases;
+    if (injector != nullptr && !sres.quarantined.empty()) {
+      // Quarantined players were flagged as orphans: re-adopt their
+      // outputs from the most-supported survivors (Section 6.1 RSelect).
+      std::vector<matrix::PlayerId> ids(n);
+      for (matrix::PlayerId p = 0; p < n; ++p) ids[p] = p;
+      core::rescue_orphans(oracle, rep.outputs, ids, params, root.split(0x0FA9));
+    }
+    if (obs::MetricsRegistry::global().enabled()) {
+      rep.metrics = obs::MetricsRegistry::global().snapshot();
+    }
+    std::cout << "supervisor: " << sres.phases.size() << " phases, " << sres.strikes
+              << " strikes, " << sres.benched_rounds << " benched rounds, "
+              << sres.quarantined.size() << " quarantined\n";
+    report = std::move(rep);
   } else if (algo == "zero" || algo == "small" || algo == "large") {
     const auto d = static_cast<std::size_t>(args.get_int("d", algo == "zero" ? 0 : 8));
     report = core::find_preferences(oracle, &board, alpha, d, params, rng::Rng(seed));
@@ -232,47 +425,34 @@ int cmd_run(const io::Args& args) {
     sp.rank = static_cast<std::size_t>(args.get_int("rank", 4));
     outputs = baselines::svd_recommender(oracle, sp, rng::Rng(seed)).outputs;
   } else {
-    throw std::runtime_error("unknown --algo=" + algo);
+    throw std::invalid_argument("unknown --algo=" + algo);
   }
   if (const auto report_path = args.get("report"); report_path.has_value()) {
     if (!report.has_value()) {
-      throw std::runtime_error("--report: --algo=" + algo + " produces no RunReport");
+      throw std::invalid_argument("--report: --algo=" + algo + " produces no RunReport");
     }
-    std::ofstream rs(*report_path);
-    if (!rs) throw std::runtime_error("cannot open --report file");
-    rs << report->to_json() << '\n';
+    write_text_artifact(*report_path, report->to_json());
   }
+  bool degraded = false;
   if (report.has_value()) {
+    degraded = !report->degraded.empty();
     // The report JSON is already on disk; it never embeds the
     // estimates, so the remaining consumer is save_outputs below.
     outputs = std::move(report->outputs);
   }
 
-  std::ofstream os(require(args, "out"));
-  if (!os) throw std::runtime_error("cannot open output file");
-  io::save_outputs(outputs, os);
+  {
+    std::ostringstream os;
+    io::save_outputs(outputs, os);
+    io::atomic_write_file(require(args, "out"), os.str());
+  }
 
   if (metrics_path.has_value()) {
     // Serial point: export the oracle ledgers as gauges so baseline
     // algos (which bypass the core entry points) are covered too.
-    auto& reg = obs::MetricsRegistry::global();
-    reg.set_gauge("oracle.total_invocations",
-                  static_cast<std::int64_t>(oracle.total_invocations()));
-    reg.set_gauge("oracle.total_charged", static_cast<std::int64_t>(oracle.total_charged()));
-    reg.set_gauge("oracle.max_invocations",
-                  static_cast<std::int64_t>(oracle.max_invocations()));
-    std::ofstream ms(*metrics_path);
-    if (!ms) throw std::runtime_error("cannot open --metrics file");
-    ms << reg.snapshot().to_json() << '\n';
+    write_metrics_snapshot(*metrics_path, oracle);
   }
-  if (tracer != nullptr) {
-    obs::set_tracer(nullptr);
-    tracer->flush();
-  }
-  if (recorder != nullptr) {
-    obs::set_recorder(nullptr);
-    recorder->flush();
-  }
+  sinks.finish();
 
   std::cout << "algo: " << algo << "\nrounds (max probes/player): "
             << oracle.max_invocations() << "\ntotal probes: " << oracle.total_invocations()
@@ -280,7 +460,79 @@ int cmd_run(const io::Args& args) {
   if (injector != nullptr) {
     std::cout << "fault report:\n" << injector->report().to_string();
   }
-  return 0;
+  if (degraded) {
+    std::cout << "run DEGRADED (see report's degraded section)\n";
+    return kExitDegraded;
+  }
+  return kExitOk;
+}
+
+int cmd_resume(const io::Args& args) {
+  const auto ckpt = core::load_run_checkpoint(require(args, "checkpoint"));
+  const auto inst = io::load_instance_file(require(args, "in"));
+  const auto profile = ckpt.harness_value("profile");
+  const auto params =
+      profile == "paper" ? core::Params::paper() : core::Params::practical();
+
+  engine::set_global_threads(static_cast<std::size_t>(args.get_int("threads", 0)));
+  const auto metrics_path = args.get("metrics");
+  if (metrics_path.has_value()) obs::MetricsRegistry::global().set_enabled(true);
+  ObsSinks sinks;
+  sinks.open(args, inst);
+
+  billboard::ProbeOracle oracle(inst.matrix);
+  billboard::Billboard board;
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (const auto spec = ckpt.harness_value("faults"); !spec.empty()) {
+    auto plan = faults::FaultPlan::parse(spec);
+    // The kill drill (if any) already fired in the run being resumed;
+    // re-arming it would kill the resumed run at the same round.
+    plan.kill_at_round = faults::kNever;
+    injector = std::make_unique<faults::FaultInjector>(plan, inst.matrix.players());
+    oracle.set_fault_injector(injector.get());
+  }
+
+  // Keep cutting checkpoints on the run's original cadence, into the
+  // same file — so a resumed run is itself resumable, and its ckpt
+  // notes line up with an uninterrupted reference run.
+  const auto ckpt_path = require(args, "checkpoint");
+  core::CheckpointPolicy policy;
+  if (const auto every = ckpt.harness_value("checkpoint_every"); !every.empty()) {
+    policy.every_rounds = std::stoull(every);
+  }
+  const auto harness = ckpt.harness;
+  policy.sink = [&ckpt_path, &harness](const core::RunCheckpoint& ck) {
+    core::RunCheckpoint with_meta = ck;
+    with_meta.harness = harness;
+    core::save_run_checkpoint(ckpt_path, with_meta);
+  };
+
+  auto report = core::resume_unknown_d(oracle, &board, params, ckpt, policy);
+  const bool degraded = !report.degraded.empty();
+
+  if (const auto report_path = args.get("report"); report_path.has_value()) {
+    write_text_artifact(*report_path, report.to_json());
+  }
+  {
+    std::ostringstream os;
+    io::save_outputs(report.outputs, os);
+    io::atomic_write_file(require(args, "out"), os.str());
+  }
+  if (metrics_path.has_value()) write_metrics_snapshot(*metrics_path, oracle);
+  sinks.finish();
+
+  std::cout << "resumed from checkpoint seq " << ckpt.seq << " (cut at "
+            << ckpt.cum_rounds << " rounds)\nrounds (max probes/player): "
+            << oracle.max_invocations()
+            << "\ntotal probes: " << oracle.total_invocations() << '\n';
+  if (injector != nullptr) {
+    std::cout << "fault report:\n" << injector->report().to_string();
+  }
+  if (degraded) {
+    std::cout << "run DEGRADED (see report's degraded section)\n";
+    return kExitDegraded;
+  }
+  return kExitOk;
 }
 
 int cmd_eval(const io::Args& args) {
@@ -607,7 +859,7 @@ int cmd_replay(const io::Args& args) {
   table.print(std::cout);
   std::cout << (ok ? "replay clean: billboard state reconstructed, totals verified\n"
                    : "replay FAILED\n");
-  return ok ? 0 : 1;
+  return ok ? kExitOk : kExitAuditFailed;
 }
 
 }  // namespace
@@ -629,12 +881,20 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "run") return cmd_run(args);
+    if (cmd == "resume") return cmd_resume(args);
     if (cmd == "eval") return cmd_eval(args);
     if (cmd == "inspect") return cmd_inspect(args);
     if (cmd == "replay") return cmd_replay(args);
     return usage();
+  } catch (const io::CheckpointError& e) {
+    // CheckpointError messages already carry their "checkpoint:" context.
+    std::cerr << "tmwia_cli " << cmd << ": " << e.what() << '\n';
+    return kExitCheckpointCorrupt;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "tmwia_cli " << cmd << ": " << e.what() << '\n';
+    return kExitUsage;
   } catch (const std::exception& e) {
     std::cerr << "tmwia_cli " << cmd << ": " << e.what() << '\n';
-    return 1;
+    return kExitError;
   }
 }
