@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/bits/kernels.hpp"
 #include "tmwia/core/session.hpp"
 #include "tmwia/engine/thread_pool.hpp"
 #include "tmwia/io/args.hpp"
@@ -92,11 +93,14 @@ inline std::string default_json_path(const std::string& name) {
 ///   --record=FILE   flight-recorder event log (see `tmwia_cli inspect`)
 ///   --record-format=jsonl|binary   recorder wire format
 ///   --threads=N     global thread-pool size (0 = hardware)
+///   --kernel=B      distance-kernel backend: scalar|avx2|avx512|auto
 ///
 /// finish() prints the usual [PASS]/[FAIL] verdict line and writes
-/// {"bench":...,"ok":...,"wall_ms":...,"metrics":{...}}. Wall time is
-/// only in the BENCH json — the --metrics/--trace/--record artifacts
-/// stay byte-identical across --threads for a fixed seed.
+/// {"bench":...,"kernel":...,"ok":...,"wall_ms":...,"metrics":{...}}
+/// where "kernel" is the resolved (never "auto") backend the run used.
+/// Wall time is only in the BENCH json — the --metrics/--trace/--record
+/// artifacts stay byte-identical across --threads and --kernel for a
+/// fixed seed.
 class BenchReport {
  public:
   BenchReport(const io::Args& args, std::string name)
@@ -105,6 +109,14 @@ class BenchReport {
         metrics_path_(args.get("metrics").value_or("")),
         start_(std::chrono::steady_clock::now()) {
     engine::set_global_threads(static_cast<std::size_t>(args.get_int("threads", 0)));
+    if (const auto k = args.get("kernel"); k.has_value()) {
+      const auto backend = bits::kernels::parse_backend(*k);
+      if (!backend.has_value()) {
+        std::fprintf(stderr, "error: unknown --kernel backend '%s'\n", k->c_str());
+        std::exit(2);
+      }
+      bits::kernels::set_backend(*backend);  // throws if the CPU can't run it
+    }
     if (!metrics_path_.empty()) obs::MetricsRegistry::global().set_enabled(true);
     if (const auto trace_path = args.get("trace"); trace_path.has_value()) {
       trace_out_.open(*trace_path);
@@ -176,8 +188,10 @@ class BenchReport {
       }
     }
     std::ostringstream js;
-    js << "{\"bench\":\"" << name_ << "\",\"ok\":" << (ok ? "true" : "false")
-       << ",\"wall_ms\":" << wall_ms << ",\"metrics\":{";
+    js << "{\"bench\":\"" << name_ << "\",\"kernel\":\""
+       << bits::kernels::backend_name(bits::kernels::active_backend())
+       << "\",\"ok\":" << (ok ? "true" : "false") << ",\"wall_ms\":" << wall_ms
+       << ",\"metrics\":{";
     bool first = true;
     for (const auto& [key, v] : metrics_) {
       if (!first) js << ',';

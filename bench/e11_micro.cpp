@@ -15,6 +15,7 @@
 
 #include "common.hpp"
 #include "tmwia/billboard/billboard.hpp"
+#include "tmwia/bits/kernels.hpp"
 #include "tmwia/billboard/probe_oracle.hpp"
 #include "tmwia/core/coalesce.hpp"
 #include "tmwia/core/select.hpp"
@@ -52,6 +53,82 @@ void BM_DtildeMasked(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DtildeMasked)->Arg(4096)->Arg(65536);
+
+// --------------------------------------------------------------------
+// Batched kernel layer (bits/kernels), one registration per backend
+// this CPU supports so the scalar/AVX2/AVX-512 constant factors sit
+// side by side in the output. Registered from main (RegisterBenchmark)
+// because the supported set is a runtime property.
+
+/// One-vs-many distance: out[i] = dist(target, vs[i]) over 256 rows.
+void kernel_dist_many_body(benchmark::State& state, bits::KernelBackend backend) {
+  const auto saved = bits::kernels::requested_backend();
+  bits::kernels::set_backend(backend);
+  const std::size_t m = 4096;
+  rng::Rng rng(4);
+  const auto target = matrix::random_vector(m, rng);
+  std::vector<bits::BitVector> vs;
+  for (int i = 0; i < 256; ++i) vs.push_back(matrix::random_vector(m, rng));
+  std::vector<std::uint32_t> out(vs.size());
+  for (auto _ : state) {
+    bits::kernels::dist_many(target, vs, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(vs.size() * m / 8));
+  bits::kernels::set_backend(saved);
+}
+
+/// Ball counting under d-tilde: |ball(center, D)| over 256 rows with a
+/// ~25% '?' mask on the center (the Coalesce 2a shape).
+void kernel_ball_size_body(benchmark::State& state, bits::KernelBackend backend) {
+  const auto saved = bits::kernels::requested_backend();
+  bits::kernels::set_backend(backend);
+  const std::size_t m = 4096;
+  rng::Rng rng(5);
+  auto center = bits::TriVector::from_bits(matrix::random_vector(m, rng));
+  for (std::size_t i = 0; i < m; i += 4) center.set(i, bits::Tri::kUnknown);
+  std::vector<bits::BitVector> vs;
+  for (int i = 0; i < 256; ++i) vs.push_back(matrix::random_vector(m, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bits::kernels::ball_size(vs, center, m / 3));
+  }
+  bits::kernels::set_backend(saved);
+}
+
+void register_kernel_benchmarks() {
+  for (const auto backend : {bits::KernelBackend::kScalar, bits::KernelBackend::kAvx2,
+                             bits::KernelBackend::kAvx512}) {
+    if (!bits::kernels::backend_supported(backend)) continue;
+    const std::string suffix = std::string(bits::kernels::backend_name(backend));
+    benchmark::RegisterBenchmark(
+        ("BM_KernelDistMany/" + suffix).c_str(),
+        [backend](benchmark::State& st) { kernel_dist_many_body(st, backend); });
+    benchmark::RegisterBenchmark(
+        ("BM_KernelBallSize/" + suffix).c_str(),
+        [backend](benchmark::State& st) { kernel_ball_size_body(st, backend); });
+  }
+}
+
+/// Succinct poster-index queries on a consolidated channel: one
+/// has_posted (rank bit probe) + one posters (rank total) per
+/// iteration, the await-polling pattern of the vote paths.
+void BM_BillboardRankQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(6);
+  billboard::Billboard board;
+  for (std::size_t p = 0; p < n; p += 2) {
+    board.post("vote", static_cast<matrix::PlayerId>(p), matrix::random_vector(64, rng));
+  }
+  (void)board.posters("vote");  // consolidate once, outside the loop
+  matrix::PlayerId q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(board.has_posted("vote", q));
+    benchmark::DoNotOptimize(board.posters("vote"));
+    q = static_cast<matrix::PlayerId>((q + 1) % n);
+  }
+}
+BENCHMARK(BM_BillboardRankQuery)->Arg(1024)->Arg(16384);
 
 void BM_Tally(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -236,6 +313,7 @@ int main(int argc, char** argv) {
 
   int gbench_argc = static_cast<int>(gbench_argv.size());
   benchmark::Initialize(&gbench_argc, gbench_argv.data());
+  register_kernel_benchmarks();
   benchmark::RunSpecifiedBenchmarks();
 
   auto& reg = obs::MetricsRegistry::global();

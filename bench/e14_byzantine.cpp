@@ -28,19 +28,6 @@ using namespace tmwia;
 
 namespace {
 
-std::vector<bits::BitVector> to_bits(const std::vector<std::vector<std::uint8_t>>& raw) {
-  std::vector<bits::BitVector> out;
-  out.reserve(raw.size());
-  for (const auto& row : raw) {
-    bits::BitVector v(row.size());
-    for (std::size_t j = 0; j < row.size(); ++j) {
-      if (row[j] != 0) v.set(j, true);
-    }
-    out.push_back(std::move(v));
-  }
-  return out;
-}
-
 /// The naive policy: one global vote over full posted vectors, everyone
 /// adopts the top-voted one (no probing). Simulates what happens when a
 /// recommendation system trusts raw popularity.
@@ -97,8 +84,8 @@ int main(int argc, char** argv) {
     billboard::ProbeOracle oracle(inst.matrix);
     core::BitSpace space(oracle, nullptr);
     space.set_byzantine(liars, forged);
-    const auto outputs = to_bits(
-        core::zero_radius(space, players, objects, alpha, params, rng::Rng(seed + 1), n));
+    const auto outputs =
+        core::zero_radius(space, players, objects, alpha, params, rng::Rng(seed + 1), n);
 
     std::size_t exact = 0;
     for (auto p : community) {

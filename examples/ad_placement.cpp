@@ -72,7 +72,9 @@ int main(int argc, char** argv) {
   for (std::size_t s = 0; s < world.communities.size(); ++s) {
     for (auto u : world.communities[s]) {
       ++total;
-      if (bits::argmin_dist(world.centers, result.outputs[u]) == s) ++correct;
+      if (bits::kernels::argmin_dist(world.centers, result.outputs[u]).index == s) {
+        ++correct;
+      }
     }
   }
   std::printf("\nsegment identification from reconstructed vectors: %zu/%zu users "

@@ -7,6 +7,15 @@
 // The billboard therefore supports named channels of (player -> vector)
 // posts with vote aggregation by vector equality.
 //
+// Storage per channel is a succinct posted-player index: posts append
+// to a small pending log in O(1), and the first read consolidates them
+// into a packed poster bitvector with a rank/select directory plus a
+// dense row array ordered by player id (rows[rank1(p)] is p's post).
+// Reads that arrive at the same channel version — the await-polling
+// pattern of the distributed strategies, which asks posters()/popular()
+// every round while a vote fills — hit the consolidated index and the
+// version-keyed tally cache instead of rescanning the posts.
+//
 // Thread safety: posts from concurrent players are serialized by a
 // mutex; aggregation reads take the same mutex.
 #pragma once
@@ -19,6 +28,7 @@
 #include <vector>
 
 #include "tmwia/bits/bitvector.hpp"
+#include "tmwia/bits/rank_select.hpp"
 #include "tmwia/matrix/ids.hpp"
 
 namespace tmwia::billboard {
@@ -40,17 +50,44 @@ class Billboard {
  public:
   /// Player p posts vector v on `channel` (overwrites p's previous post
   /// on that channel, as a player has one current opinion per channel).
+  /// O(1): appends to the channel's pending log.
   void post(const std::string& channel, matrix::PlayerId p, const bits::BitVector& v);
 
+  /// Batched post: players[i] posts rows[i] (spans must be equal
+  /// length). Observably identical to posting each pair in index order
+  /// — same recorder events, same totals — but the channel name is
+  /// resolved and the lock taken once per batch instead of once per
+  /// row. Zero Radius publishes every node's outputs this way.
+  void post_many(const std::string& channel, std::span<const matrix::PlayerId> players,
+                 std::span<const bits::BitVector> rows);
+
   /// All distinct vectors on `channel` with >= min_votes posters,
-  /// in deterministic (lexicographic) order.
+  /// in deterministic (lexicographic) order. Cached per (channel
+  /// version, min_votes): repeated polling of an unchanged channel does
+  /// not re-tally.
   [[nodiscard]] std::vector<VotedVector> popular(const std::string& channel,
                                                  std::uint32_t min_votes) const;
 
-  /// Number of players who posted on `channel`.
+  /// Number of players who posted on `channel`. O(1) after the posts
+  /// since the last read are consolidated.
   [[nodiscard]] std::size_t posters(const std::string& channel) const;
 
-  /// Drop a channel's posts (phases recycle channel names).
+  /// Has player p posted on `channel`? One bit probe of the poster
+  /// index.
+  [[nodiscard]] bool has_posted(const std::string& channel, matrix::PlayerId p) const;
+
+  /// The channel's current posts, ordered by player id ascending
+  /// (players[i] posted rows[i]). Rows are copies; the poster index
+  /// itself stays internal to keep the lock discipline simple.
+  struct ChannelView {
+    std::vector<matrix::PlayerId> players;
+    std::vector<bits::BitVector> rows;
+  };
+  [[nodiscard]] ChannelView snapshot(const std::string& channel) const;
+
+  /// Drop a channel's posts (phases recycle channel names). Bumps the
+  /// channel epoch: a later post under the same name starts a fresh
+  /// index.
   void clear(const std::string& channel);
 
   /// Total posts across all channels (diagnostics).
@@ -70,11 +107,33 @@ class Billboard {
 
  private:
   struct Channel {
-    std::unordered_map<matrix::PlayerId, bits::BitVector> posts;
+    std::uint64_t version = 0;  ///< bumped on every post and clear
+    std::uint64_t epoch = 0;    ///< bumped on clear
+
+    // Appended by post(), merged into the index by consolidate().
+    std::vector<std::pair<matrix::PlayerId, bits::BitVector>> pending;
+
+    // Consolidated succinct index: bit p of `posted` marks a poster,
+    // `rank` is its rank/select directory, and rows[rank.rank1(p)] is
+    // p's current post (dense, ordered by player id).
+    bits::BitVector posted;
+    bits::RankSelect rank;
+    std::vector<bits::BitVector> rows;
+    std::uint64_t indexed_version = 0;  ///< version `posted`/`rank`/`rows` reflect
+
+    // popular() result memo for the polling pattern.
+    std::uint64_t tally_version = 0;
+    std::uint32_t tally_min_votes = 0;
+    bool tally_valid = false;
+    std::vector<VotedVector> tally_cache;
   };
 
+  /// Merge `pending` into the consolidated index (later posts by the
+  /// same player win). Amortized O(new posts) per read burst.
+  static void consolidate(Channel& ch);
+
   mutable std::mutex mu_;
-  std::unordered_map<std::string, Channel> channels_;
+  mutable std::unordered_map<std::string, Channel> channels_;
 };
 
 }  // namespace tmwia::billboard

@@ -18,11 +18,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "tmwia/faults/fault_injector.hpp"
 #include "tmwia/matrix/preference_matrix.hpp"
+#include "tmwia/obs/flight_recorder.hpp"
 
 namespace tmwia::billboard {
 
@@ -84,7 +86,89 @@ class ProbeOracle {
   /// the result on the probe record (billboard side). With a fault
   /// injector attached this is the *raw* probe: injected faults
   /// propagate as exceptions (see set_fault_injector).
-  bool probe(PlayerId p, ObjectId o);
+  ///
+  /// The no-injector/no-auditor path is inlined here: at tens of
+  /// millions of calls per run this is the hottest function in the
+  /// system, and out-of-line it costs more in call overhead than in
+  /// work.
+  bool probe(PlayerId p, ObjectId o) {
+    bool fast = injector_ == nullptr;
+#if TMWIA_AUDIT
+    fast = fast && auditor_ == nullptr;
+#endif
+    if (!fast) return probe_slow(p, o);
+    if (p >= players() || o >= objects()) {
+      throw std::out_of_range("ProbeOracle::probe: player/object out of range");
+    }
+    const auto inv = bump(invocations_[p]);
+    if (!probed_[p].get(o)) {
+      bump(charged_[p]);
+      probed_[p].set(o, true);
+    }
+    const bool value = noisy_read(p, o, inv);
+    values_[p].set(o, value);
+    if (auto* rec = obs::recorder()) rec->probe(p, o, value, inv);
+    return value;
+  }
+
+  /// Batched probe: player p probes objs[0..n) in order, results packed
+  /// into the low n bits of `out` (bit j = probe of objs[j]).
+  /// Observably identical to `for j: probe_resilient(p, objs[j])` —
+  /// same ledger totals, same per-invocation noise stream, same
+  /// recorder events — but the bookkeeping (counter bumps, recorder
+  /// lookup, bounds checks) is amortized over the whole block. This is
+  /// the Zero Radius leaf's probe path: every player reads its full
+  /// object subset, tens of millions of bits per run.
+  void probe_block(PlayerId p, std::span<const ObjectId> objs, bits::BitVector& out) {
+    bool fast = injector_ == nullptr;
+#if TMWIA_AUDIT
+    fast = fast && auditor_ == nullptr;
+#endif
+    if (!fast) {
+      for (std::size_t j = 0; j < objs.size(); ++j) out.set(j, probe_resilient(p, objs[j]));
+      return;
+    }
+    if (p >= players()) {
+      throw std::out_of_range("ProbeOracle::probe_block: player out of range");
+    }
+    for (const auto o : objs) {
+      if (o >= objects()) {
+        throw std::out_of_range("ProbeOracle::probe_block: object out of range");
+      }
+    }
+    const auto n = objs.size();
+    const auto inv0 = invocations_[p].load(std::memory_order_relaxed);
+    invocations_[p].store(inv0 + n, std::memory_order_relaxed);
+    auto& probed = probed_[p];
+    auto& values = values_[p];
+    auto* rec = obs::recorder();
+    const bool noisy = noise_.kind != NoiseModel::Kind::kNone;
+    const auto& truth_row = truth_->row(p);
+    std::uint64_t newly_charged = 0;
+    std::uint64_t word = 0;
+    // tmwia-lint: allow(per-bit-loop) the probe protocol is per (p,o): ledger, noise stream, and recorder events are defined one probe at a time
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto o = objs[j];
+      if (!probed.get(o)) {
+        ++newly_charged;
+        probed.set(o, true);
+      }
+      bool value = truth_row.get(o);
+      if (noisy) [[unlikely]] value ^= noise_flip(p, o, inv0 + j);
+      values.set(o, value);
+      if (rec != nullptr) [[unlikely]] rec->probe(p, o, value, inv0 + j);
+      word |= static_cast<std::uint64_t>(value) << (j & 63);
+      if ((j & 63) == 63) {
+        out.set_word(j >> 6, word);
+        word = 0;
+      }
+    }
+    if ((n & 63) != 0) out.set_word(n >> 6, word);
+    if (newly_charged != 0) {
+      const auto c = charged_[p].load(std::memory_order_relaxed);
+      charged_[p].store(c + newly_charged, std::memory_order_relaxed);
+    }
+  }
 
   /// Fault-tolerant probe used by the centrally-simulated phases:
   /// retries transient failures up to the plan's retry budget (each
@@ -92,7 +176,10 @@ class ProbeOracle {
   /// retry-exhausted player is marked failed on the injector and served
   /// its posted value for (p, o) (0 if never probed) from then on.
   /// Without an injector this is exactly probe().
-  bool probe_resilient(PlayerId p, ObjectId o);
+  bool probe_resilient(PlayerId p, ObjectId o) {
+    if (injector_ == nullptr) return probe(p, o);
+    return probe_resilient_slow(p, o);
+  }
 
   /// Has (p, o) been probed already (by p)? Billboard read, free.
   [[nodiscard]] bool is_probed(PlayerId p, ObjectId o) const;
@@ -149,7 +236,51 @@ class ProbeOracle {
   void restore_ledger(const Ledger& ledger);
 
  private:
-  [[nodiscard]] bool noisy_read(PlayerId p, ObjectId o, std::uint64_t invocation) const;
+  /// Increment a per-player ledger counter, returning the old value.
+  /// Player p's counters have a single writer (player code runs
+  /// single-threaded per player), so a relaxed load+store pair suffices
+  /// — an atomic RMW would put a LOCK-prefixed op in the hottest loop
+  /// in the system for exclusivity nobody contends.
+  static std::uint64_t bump(std::atomic<std::uint64_t>& c) {
+    const auto v = c.load(std::memory_order_relaxed);
+    c.store(v + 1, std::memory_order_relaxed);
+    return v;
+  }
+
+  /// The noiseless read folds to one bit load; noise models pay for a
+  /// hash out of line.
+  [[nodiscard]] bool noisy_read(PlayerId p, ObjectId o, std::uint64_t invocation) const {
+    const bool truth = truth_->value(p, o);
+    if (noise_.kind == NoiseModel::Kind::kNone) [[likely]] return truth;
+    return truth ^ noise_flip(p, o, invocation);
+  }
+  /// Whether the configured noise model flips this read. Inline: in a
+  /// noisy run every probe pays this hash, so the call must fold into
+  /// the probe fast path.
+  [[nodiscard]] bool noise_flip(PlayerId p, ObjectId o, std::uint64_t invocation) const {
+    switch (noise_.kind) {
+      case NoiseModel::Kind::kNone:
+        return false;
+      case NoiseModel::Kind::kSticky:
+        return noise_bernoulli(noise_mix(noise_.seed, p, o), noise_.epsilon);
+      case NoiseModel::Kind::kFresh:
+        return noise_bernoulli(noise_mix(noise_.seed ^ invocation, p, o), noise_.epsilon);
+    }
+    return false;
+  }
+  /// SplitMix64-style stateless mixer for the sticky/fresh noise draws.
+  static std::uint64_t noise_mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+    std::uint64_t z = a * 0x9e3779b97f4a7c15ull + b * 0xbf58476d1ce4e5b9ull + c + 1;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  static bool noise_bernoulli(std::uint64_t h, double p) {
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+  }
+  /// Full probe path with fault-injection and audit hooks.
+  bool probe_slow(PlayerId p, ObjectId o);
+  bool probe_resilient_slow(PlayerId p, ObjectId o);
   [[nodiscard]] bool fallback_read(PlayerId p, ObjectId o) const;
 
   const matrix::PreferenceMatrix* truth_;

@@ -44,18 +44,6 @@ const OracleMetrics& oracle_metrics() {
   return m;
 }
 
-// SplitMix64-style stateless mixer for the sticky/fresh noise draws.
-std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
-  std::uint64_t z = a * 0x9e3779b97f4a7c15ull + b * 0xbf58476d1ce4e5b9ull + c + 1;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
-
-bool bernoulli_hash(std::uint64_t h, double p) {
-  return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
-}
-
 }  // namespace
 
 ProbeOracle::ProbeOracle(const matrix::PreferenceMatrix& truth, NoiseModel noise)
@@ -66,20 +54,7 @@ ProbeOracle::ProbeOracle(const matrix::PreferenceMatrix& truth, NoiseModel noise
       probed_(truth.players(), bits::BitVector(truth.objects())),
       values_(truth.players(), bits::BitVector(truth.objects())) {}
 
-bool ProbeOracle::noisy_read(PlayerId p, ObjectId o, std::uint64_t invocation) const {
-  const bool truth = truth_->value(p, o);
-  switch (noise_.kind) {
-    case NoiseModel::Kind::kNone:
-      return truth;
-    case NoiseModel::Kind::kSticky:
-      return truth ^ bernoulli_hash(mix(noise_.seed, p, o), noise_.epsilon);
-    case NoiseModel::Kind::kFresh:
-      return truth ^ bernoulli_hash(mix(noise_.seed ^ invocation, p, o), noise_.epsilon);
-  }
-  return truth;
-}
-
-bool ProbeOracle::probe(PlayerId p, ObjectId o) {
+bool ProbeOracle::probe_slow(PlayerId p, ObjectId o) {
   if (p >= players() || o >= objects()) {
     throw std::out_of_range("ProbeOracle::probe: player/object out of range");
   }
@@ -92,7 +67,7 @@ bool ProbeOracle::probe(PlayerId p, ObjectId o) {
       case faults::FaultInjector::Attempt::kFail: {
         // The probe was sent and the round spent; only the result is
         // lost, so the retry shows up in the invocation accounting.
-        const auto failed_inv = invocations_[p].fetch_add(1, std::memory_order_relaxed);
+        const auto failed_inv = bump(invocations_[p]);
         TMWIA_AUDIT_HOOK(on_probe_attempt(p));
         oracle_metrics().failures.inc();
         if (auto* rec = obs::recorder()) rec->probe_failed(p, o, failed_inv);
@@ -102,10 +77,10 @@ bool ProbeOracle::probe(PlayerId p, ObjectId o) {
         break;
     }
   }
-  const auto inv = invocations_[p].fetch_add(1, std::memory_order_relaxed);
+  const auto inv = bump(invocations_[p]);
   TMWIA_AUDIT_HOOK(on_probe_attempt(p));
   if (!probed_[p].get(o)) {
-    charged_[p].fetch_add(1, std::memory_order_relaxed);
+    bump(charged_[p]);
     probed_[p].set(o, true);
   }
   const bool value = noisy_read(p, o, inv);
@@ -119,8 +94,7 @@ bool ProbeOracle::fallback_read(PlayerId p, ObjectId o) const {
   return probed_[p].get(o) ? values_[p].get(o) : false;
 }
 
-bool ProbeOracle::probe_resilient(PlayerId p, ObjectId o) {
-  if (injector_ == nullptr) return probe(p, o);
+bool ProbeOracle::probe_resilient_slow(PlayerId p, ObjectId o) {
   if (injector_->is_failed(p)) {
     injector_->note_fallback_read(p);
     oracle_metrics().fallback_reads.inc();

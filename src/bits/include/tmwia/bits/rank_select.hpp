@@ -1,0 +1,64 @@
+// RankSelect: a succinct rank/select directory over an immutable
+// BitVector snapshot (rank9 layout: one absolute count per 512-bit
+// basic block plus seven 9-bit within-block prefix counts packed into
+// a single word — 25% space overhead, two memory touches per rank).
+//
+// The billboard's posted-probe index builds one of these per channel
+// epoch: rank1 answers "how many players posted before id p" and
+// membership in O(1), select1 enumerates the k-th poster without
+// scanning the post map. Build is O(words); the structure is
+// immutable — rebuild on the next epoch rather than update in place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tmwia/bits/bitvector.hpp"
+
+namespace tmwia::bits {
+
+class RankSelect {
+ public:
+  RankSelect() = default;
+
+  /// Snapshot `bits` and build the directory. The source BitVector is
+  /// copied; later mutation of it does not affect this index.
+  explicit RankSelect(const BitVector& bits);
+
+  /// Number of positions covered.
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Total number of set positions.
+  [[nodiscard]] std::size_t ones() const { return ones_; }
+
+  /// The underlying bit at position i.
+  [[nodiscard]] bool get(std::size_t i) const {
+    return ((words_[i / 64] >> (i % 64)) & 1u) != 0;
+  }
+
+  /// rank1(i) = number of set positions strictly below i. i may equal
+  /// size() (returns ones()).
+  [[nodiscard]] std::size_t rank1(std::size_t i) const;
+
+  /// Position of the k-th set bit (k in [0, ones())). Precondition:
+  /// k < ones().
+  [[nodiscard]] std::size_t select1(std::size_t k) const;
+
+  /// All set positions in ascending order (select1 over the range —
+  /// convenience for poster enumeration).
+  [[nodiscard]] std::vector<std::uint32_t> one_positions() const;
+
+ private:
+  static constexpr std::size_t kBlockWords = 8;  // 512-bit basic blocks
+
+  std::vector<std::uint64_t> words_;
+  // Per block: [0] absolute rank at block start, [1] seven 9-bit
+  // cumulative counts for word boundaries 1..7 within the block.
+  std::vector<std::uint64_t> block_rank_;
+  std::vector<std::uint64_t> sub_rank_;
+  std::size_t size_ = 0;
+  std::size_t ones_ = 0;
+};
+
+}  // namespace tmwia::bits

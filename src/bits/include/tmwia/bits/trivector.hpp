@@ -98,6 +98,16 @@ class TriVector {
   [[nodiscard]] const BitVector& value_plane() const { return value_; }
   [[nodiscard]] const BitVector& known_plane() const { return known_; }
 
+  /// Packed word spans of the two planes, for the kernel layer. Both
+  /// spans have the same length and zeroed tail bits (BitVector
+  /// invariant), so masked popcounts need no tail handling.
+  [[nodiscard]] std::span<const std::uint64_t> value_words() const {
+    return value_.words();
+  }
+  [[nodiscard]] std::span<const std::uint64_t> known_words() const {
+    return known_.words();
+  }
+
   /// Lexicographic order with '0' < '1' < '?', coordinate 0 first.
   [[nodiscard]] int lex_compare(const TriVector& other) const;
 

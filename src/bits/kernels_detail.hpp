@@ -1,0 +1,34 @@
+// Internal contract between kernels.cpp (dispatch + batched ops) and
+// the SIMD translation units (kernels_simd.cpp). Not installed; the
+// public surface is tmwia/bits/kernels.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tmwia::bits::kernels::detail {
+
+/// The word-level kernel ABI: one table per backend. Every function
+/// returns an exact popcount, so backends are interchangeable bit for
+/// bit; only throughput differs.
+struct KernelVTable {
+  std::uint64_t (*popcnt)(const std::uint64_t* a, std::size_t n);
+  std::uint64_t (*xor_popcnt)(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n);
+  std::uint64_t (*xor_and_popcnt)(const std::uint64_t* a, const std::uint64_t* b,
+                                  const std::uint64_t* m, std::size_t n);
+  std::uint64_t (*xor_and2_popcnt)(const std::uint64_t* a, const std::uint64_t* b,
+                                   const std::uint64_t* m1, const std::uint64_t* m2,
+                                   std::size_t n);
+  std::uint64_t (*and_popcnt)(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n);
+};
+
+/// Always available.
+const KernelVTable& scalar_vtable();
+
+/// nullptr when the build target or the running CPU lacks the ISA.
+const KernelVTable* avx2_vtable();
+const KernelVTable* avx512_vtable();
+
+}  // namespace tmwia::bits::kernels::detail

@@ -1,0 +1,273 @@
+// AVX2 / AVX-512 backends for the kernel vtable. This TU compiles on
+// any x86-64 GCC/Clang via per-function target attributes — no special
+// compiler flags — and each vtable getter returns nullptr when the
+// running CPU lacks the ISA, so dispatch stays a pure runtime decision.
+//
+// AVX2 popcount is the Mula pshufb nibble-LUT reduced through
+// _mm256_sad_epu8; AVX-512 uses VPOPCNTDQ directly. Both accumulate
+// exact 64-bit integer popcounts, so results are bit-identical to the
+// scalar backend by construction.
+#include "kernels_detail.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TMWIA_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+namespace tmwia::bits::kernels::detail {
+
+#if TMWIA_KERNELS_X86
+
+namespace {
+
+#define TMWIA_AVX2 __attribute__((target("avx2,popcnt")))
+#define TMWIA_AVX512 \
+  __attribute__((target("avx512f,avx512bw,avx512vl,avx512vpopcntdq")))
+
+// --- AVX2 ---------------------------------------------------------------
+
+/// Per-byte popcount of a 256-bit lane (Mula's pshufb nibble LUT).
+TMWIA_AVX2 inline __m256i avx2_popcnt_bytes(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3,
+                                       3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3,
+                                       2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+/// Horizontal sum of four 64-bit lanes.
+TMWIA_AVX2 inline std::uint64_t avx2_hsum(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_extract_epi64(s, 0)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+TMWIA_AVX2 std::uint64_t avx2_popcnt(const std::uint64_t* a, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(avx2_popcnt_bytes(v),
+                                                _mm256_setzero_si256()));
+  }
+  std::uint64_t c = avx2_hsum(acc);
+  for (; i < n; ++i) c += static_cast<std::uint64_t>(_mm_popcnt_u64(a[i]));
+  return c;
+}
+
+TMWIA_AVX2 std::uint64_t avx2_xor_popcnt(const std::uint64_t* a,
+                                         const std::uint64_t* b, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(avx2_popcnt_bytes(v),
+                                                _mm256_setzero_si256()));
+  }
+  std::uint64_t c = avx2_hsum(acc);
+  for (; i < n; ++i) c += static_cast<std::uint64_t>(_mm_popcnt_u64(a[i] ^ b[i]));
+  return c;
+}
+
+TMWIA_AVX2 std::uint64_t avx2_xor_and_popcnt(const std::uint64_t* a,
+                                             const std::uint64_t* b,
+                                             const std::uint64_t* m, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_and_si256(
+        _mm256_xor_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i))),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(m + i)));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(avx2_popcnt_bytes(v),
+                                                _mm256_setzero_si256()));
+  }
+  std::uint64_t c = avx2_hsum(acc);
+  for (; i < n; ++i) {
+    c += static_cast<std::uint64_t>(_mm_popcnt_u64((a[i] ^ b[i]) & m[i]));
+  }
+  return c;
+}
+
+TMWIA_AVX2 std::uint64_t avx2_xor_and2_popcnt(const std::uint64_t* a,
+                                              const std::uint64_t* b,
+                                              const std::uint64_t* m1,
+                                              const std::uint64_t* m2,
+                                              std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i mask = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(m1 + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(m2 + i)));
+    const __m256i v = _mm256_and_si256(
+        _mm256_xor_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i))),
+        mask);
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(avx2_popcnt_bytes(v),
+                                                _mm256_setzero_si256()));
+  }
+  std::uint64_t c = avx2_hsum(acc);
+  for (; i < n; ++i) {
+    c += static_cast<std::uint64_t>(_mm_popcnt_u64((a[i] ^ b[i]) & m1[i] & m2[i]));
+  }
+  return c;
+}
+
+TMWIA_AVX2 std::uint64_t avx2_and_popcnt(const std::uint64_t* a,
+                                         const std::uint64_t* b, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(avx2_popcnt_bytes(v),
+                                                _mm256_setzero_si256()));
+  }
+  std::uint64_t c = avx2_hsum(acc);
+  for (; i < n; ++i) c += static_cast<std::uint64_t>(_mm_popcnt_u64(a[i] & b[i]));
+  return c;
+}
+
+// --- AVX-512 ------------------------------------------------------------
+
+/// Horizontal sum of eight 64-bit lanes. A plain store+add: GCC's
+/// _mm512_reduce_add_epi64 goes through _mm256_undefined_si256 and
+/// trips -Wuninitialized; this runs once per call, so it is not hot.
+TMWIA_AVX512 inline std::uint64_t avx512_hsum(__m512i acc) {
+  alignas(64) std::uint64_t lanes[8];
+  _mm512_store_si512(lanes, acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] + lanes[4] + lanes[5] +
+         lanes[6] + lanes[7];
+}
+
+TMWIA_AVX512 std::uint64_t avx512_popcnt(const std::uint64_t* a, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_loadu_si512(a + i)));
+  }
+  std::uint64_t c = avx512_hsum(acc);
+  for (; i < n; ++i) c += static_cast<std::uint64_t>(_mm_popcnt_u64(a[i]));
+  return c;
+}
+
+TMWIA_AVX512 std::uint64_t avx512_xor_popcnt(const std::uint64_t* a,
+                                             const std::uint64_t* b,
+                                             std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v =
+        _mm512_xor_si512(_mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  std::uint64_t c = avx512_hsum(acc);
+  for (; i < n; ++i) c += static_cast<std::uint64_t>(_mm_popcnt_u64(a[i] ^ b[i]));
+  return c;
+}
+
+TMWIA_AVX512 std::uint64_t avx512_xor_and_popcnt(const std::uint64_t* a,
+                                                 const std::uint64_t* b,
+                                                 const std::uint64_t* m,
+                                                 std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // vpternlogq 0x28 = (a ^ b) & m in a single op.
+    const __m512i v = _mm512_ternarylogic_epi64(
+        _mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i),
+        _mm512_loadu_si512(m + i), 0x28);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  std::uint64_t c = avx512_hsum(acc);
+  for (; i < n; ++i) {
+    c += static_cast<std::uint64_t>(_mm_popcnt_u64((a[i] ^ b[i]) & m[i]));
+  }
+  return c;
+}
+
+TMWIA_AVX512 std::uint64_t avx512_xor_and2_popcnt(const std::uint64_t* a,
+                                                  const std::uint64_t* b,
+                                                  const std::uint64_t* m1,
+                                                  const std::uint64_t* m2,
+                                                  std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_ternarylogic_epi64(
+        _mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i),
+        _mm512_and_si512(_mm512_loadu_si512(m1 + i), _mm512_loadu_si512(m2 + i)),
+        0x28);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  std::uint64_t c = avx512_hsum(acc);
+  for (; i < n; ++i) {
+    c += static_cast<std::uint64_t>(_mm_popcnt_u64((a[i] ^ b[i]) & m1[i] & m2[i]));
+  }
+  return c;
+}
+
+TMWIA_AVX512 std::uint64_t avx512_and_popcnt(const std::uint64_t* a,
+                                             const std::uint64_t* b,
+                                             std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v =
+        _mm512_and_si512(_mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  std::uint64_t c = avx512_hsum(acc);
+  for (; i < n; ++i) c += static_cast<std::uint64_t>(_mm_popcnt_u64(a[i] & b[i]));
+  return c;
+}
+
+#undef TMWIA_AVX2
+#undef TMWIA_AVX512
+
+bool cpu_has_avx2() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("popcnt");
+}
+
+bool cpu_has_avx512() {
+  return __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl") &&
+         __builtin_cpu_supports("avx512vpopcntdq");
+}
+
+}  // namespace
+
+const KernelVTable* avx2_vtable() {
+  static const KernelVTable table{avx2_popcnt, avx2_xor_popcnt, avx2_xor_and_popcnt,
+                                  avx2_xor_and2_popcnt, avx2_and_popcnt};
+  static const bool ok = cpu_has_avx2();
+  return ok ? &table : nullptr;
+}
+
+const KernelVTable* avx512_vtable() {
+  static const KernelVTable table{avx512_popcnt, avx512_xor_popcnt,
+                                  avx512_xor_and_popcnt, avx512_xor_and2_popcnt,
+                                  avx512_and_popcnt};
+  static const bool ok = cpu_has_avx512();
+  return ok ? &table : nullptr;
+}
+
+#else  // !TMWIA_KERNELS_X86
+
+const KernelVTable* avx2_vtable() { return nullptr; }
+const KernelVTable* avx512_vtable() { return nullptr; }
+
+#endif
+
+}  // namespace tmwia::bits::kernels::detail

@@ -1,0 +1,91 @@
+#include "tmwia/bits/rank_select.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace tmwia::bits {
+
+RankSelect::RankSelect(const BitVector& bits)
+    : words_(bits.words().begin(), bits.words().end()), size_(bits.size()) {
+  const std::size_t n_blocks = (words_.size() + kBlockWords - 1) / kBlockWords;
+  block_rank_.resize(n_blocks + 1, 0);
+  sub_rank_.resize(n_blocks, 0);
+  std::uint64_t running = 0;
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    block_rank_[b] = running;
+    std::uint64_t within = 0;
+    std::uint64_t packed = 0;
+    for (std::size_t w = 0; w < kBlockWords; ++w) {
+      const std::size_t idx = b * kBlockWords + w;
+      if (w > 0) packed |= within << (9 * (w - 1));
+      if (idx < words_.size()) {
+        within += static_cast<std::uint64_t>(std::popcount(words_[idx]));
+      }
+    }
+    sub_rank_[b] = packed;
+    running += within;
+  }
+  block_rank_[n_blocks] = running;
+  ones_ = static_cast<std::size_t>(running);
+}
+
+std::size_t RankSelect::rank1(std::size_t i) const {
+  if (i >= size_) return ones_;
+  const std::size_t w = i / 64;
+  const std::size_t b = w / kBlockWords;
+  const std::size_t sub = w % kBlockWords;
+  std::uint64_t r = block_rank_[b];
+  if (sub > 0) r += (sub_rank_[b] >> (9 * (sub - 1))) & 0x1ff;
+  const std::size_t bit = i % 64;
+  if (bit > 0) {
+    r += static_cast<std::uint64_t>(
+        std::popcount(words_[w] & ((std::uint64_t{1} << bit) - 1)));
+  }
+  return static_cast<std::size_t>(r);
+}
+
+std::size_t RankSelect::select1(std::size_t k) const {
+  if (k >= ones_) {
+    throw std::out_of_range("RankSelect::select1: k >= ones()");
+  }
+  // Binary search the block directory, then walk the (at most eight)
+  // words of the block.
+  std::size_t lo = 0;
+  std::size_t hi = block_rank_.size() - 1;
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (block_rank_[mid] <= k) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  std::uint64_t remaining = k - block_rank_[lo];
+  for (std::size_t w = lo * kBlockWords; w < words_.size(); ++w) {
+    const auto c = static_cast<std::uint64_t>(std::popcount(words_[w]));
+    if (remaining < c) {
+      // k-th one is in this word: peel (remaining) low set bits.
+      std::uint64_t x = words_[w];
+      for (std::uint64_t j = 0; j < remaining; ++j) x &= x - 1;
+      return w * 64 + static_cast<std::size_t>(std::countr_zero(x));
+    }
+    remaining -= c;
+  }
+  throw std::logic_error("RankSelect::select1: directory corrupt");
+}
+
+std::vector<std::uint32_t> RankSelect::one_positions() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(ones_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t x = words_[w];
+    while (x != 0) {
+      out.push_back(static_cast<std::uint32_t>(w * 64 +
+                                               static_cast<std::size_t>(std::countr_zero(x))));
+      x &= x - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace tmwia::bits

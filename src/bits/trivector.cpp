@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "tmwia/bits/kernels.hpp"
+
 namespace tmwia::bits {
 
 TriVector TriVector::from_string(const std::string& s) {
@@ -47,14 +49,9 @@ std::size_t TriVector::dtilde(const TriVector& other) const {
     throw std::invalid_argument("TriVector::dtilde: size mismatch");
   }
   const auto va = value_.words();
-  const auto vb = other.value_.words();
-  const auto ka = known_.words();
-  const auto kb = other.known_.words();
-  std::size_t c = 0;
-  for (std::size_t i = 0; i < va.size(); ++i) {
-    c += static_cast<std::size_t>(std::popcount((va[i] ^ vb[i]) & ka[i] & kb[i]));
-  }
-  return c;
+  return static_cast<std::size_t>(kernels::xor_and2_popcount_words(
+      va.data(), other.value_.words().data(), known_.words().data(),
+      other.known_.words().data(), va.size()));
 }
 
 std::size_t TriVector::dtilde(const BitVector& other) const {
@@ -62,13 +59,8 @@ std::size_t TriVector::dtilde(const BitVector& other) const {
     throw std::invalid_argument("TriVector::dtilde: size mismatch");
   }
   const auto va = value_.words();
-  const auto vb = other.words();
-  const auto ka = known_.words();
-  std::size_t c = 0;
-  for (std::size_t i = 0; i < va.size(); ++i) {
-    c += static_cast<std::size_t>(std::popcount((va[i] ^ vb[i]) & ka[i]));
-  }
-  return c;
+  return static_cast<std::size_t>(kernels::xor_and_popcount_words(
+      va.data(), other.words().data(), known_.words().data(), va.size()));
 }
 
 std::size_t TriVector::dtilde_on(const TriVector& other,

@@ -9,18 +9,9 @@ std::vector<bits::BitVector> zero_radius_bits(billboard::ProbeOracle& oracle,
                                               double alpha, const Params& params,
                                               rng::Rng rng, std::string channel_prefix) {
   BitSpace space(oracle, board, std::move(channel_prefix));
-  const auto raw =
-      zero_radius(space, players, objects, alpha, params, std::move(rng), players.size());
-  std::vector<bits::BitVector> out;
-  out.reserve(raw.size());
-  for (const auto& row : raw) {
-    bits::BitVector v(row.size());
-    for (std::size_t j = 0; j < row.size(); ++j) {
-      if (row[j] != 0) v.set(j, true);
-    }
-    out.push_back(std::move(v));
-  }
-  return out;
+  // BitSpace declares Row = bits::BitVector, so the recursion already
+  // produced packed rows — return them as-is.
+  return zero_radius(space, players, objects, alpha, params, std::move(rng), players.size());
 }
 
 }  // namespace tmwia::core

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tmwia/bits/kernels.hpp"
+
 namespace tmwia::core {
 
 CoalesceResult coalesce(const std::vector<bits::BitVector>& vectors, std::size_t D,
@@ -11,6 +13,20 @@ CoalesceResult coalesce(const std::vector<bits::BitVector>& vectors, std::size_t
   CoalesceResult res;
   if (vectors.empty()) return res;
   if (min_ball == 0) min_ball = 1;
+
+  // Pairwise distances never change — only ball membership does as
+  // vectors are removed — so compute the whole matrix once with the
+  // batched kernel (one dist_many row per vector) and run the
+  // fixed-point sweeps below on integer lookups.
+  const std::size_t n = vectors.size();
+  std::vector<std::uint32_t> dist_matrix(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bits::kernels::dist_many(vectors[i], vectors,
+                             std::span<std::uint32_t>(dist_matrix).subspan(i * n, n));
+  }
+  const auto dist_at = [&](std::size_t i, std::size_t j) {
+    return static_cast<std::size_t>(dist_matrix[i * n + j]);
+  };
 
   // Work on the live multiset as index lists; balls are computed over
   // the *current* V (vectors removed in 2a/2c no longer populate
@@ -32,7 +48,7 @@ CoalesceResult coalesce(const std::vector<bits::BitVector>& vectors, std::size_t
       for (std::size_t i : live) {
         std::size_t ball = 0;
         for (std::size_t j : live) {
-          if (vectors[i].hamming(vectors[j]) <= D) ++ball;
+          if (dist_at(i, j) <= D) ++ball;
         }
         if (ball >= min_ball) {
           kept.push_back(i);
@@ -55,7 +71,7 @@ CoalesceResult coalesce(const std::vector<bits::BitVector>& vectors, std::size_t
     std::vector<std::size_t> kept;
     kept.reserve(live.size());
     for (std::size_t j : live) {
-      if (vectors[first].hamming(vectors[j]) > D) kept.push_back(j);
+      if (dist_at(first, j) > D) kept.push_back(j);
     }
     live.swap(kept);
   }

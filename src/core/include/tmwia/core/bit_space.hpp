@@ -21,7 +21,8 @@ namespace tmwia::core {
 /// objects.
 class BitSpace {
  public:
-  using Value = std::uint8_t;  // 0/1 grade
+  using Value = std::uint8_t;     // 0/1 grade
+  using Row = bits::BitVector;    // packed rows: Zero Radius runs word-parallel
 
   /// `channel_prefix` namespaces the billboard channels of this run so
   /// that nested/parallel Zero Radius executions do not collide.
@@ -33,22 +34,44 @@ class BitSpace {
     return oracle_->probe_resilient(p, object) ? Value{1} : Value{0};
   }
 
+  /// Batched leaf probe: fill the low objects.size() bits of `out` with
+  /// p's probes of `objects`, in order. Equivalent to probe() per
+  /// object (same cost ledgers, noise stream and recorder events) but
+  /// amortizes the oracle's per-call bookkeeping.
+  void probe_row(PlayerId p, std::span<const std::uint32_t> objects, bits::BitVector& out) {
+    oracle_->probe_block(p, objects, out);
+  }
+
   /// Mirror a player's published value vector to the billboard (posted
   /// as a packed BitVector on the given channel). Under an attached
   /// fault injector individual publications may be lost; the vote paths
   /// consult post_lost with the same channel so they agree.
-  void publish(std::string_view channel, PlayerId p, std::span<const Value> values) {
+  void publish(std::string_view channel, PlayerId p, const bits::BitVector& values) {
     if (auto* inj = oracle_->fault_injector();
         inj != nullptr && inj->post_lost(p, post_tag(channel))) {
       inj->note_post_dropped();
       return;
     }
     if (board_ == nullptr) return;
-    bits::BitVector v(values.size());
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      if (values[i] != 0) v.set(i, true);
+    board_->post(prefix_ + "/" + std::string(channel), p, values);
+  }
+
+  /// Batched mirror: players[i] publishes rows[i] on `channel`, in
+  /// index order. Without a fault injector this resolves the channel
+  /// name and takes the board lock once for the whole node (Zero
+  /// Radius posts every node's outputs); with one it falls back to the
+  /// per-player path so crash/post-loss bookkeeping is untouched.
+  void publish_rows(std::string_view channel, std::span<const PlayerId> players,
+                    std::span<const bits::BitVector> rows) {
+    if (oracle_->fault_injector() == nullptr) {
+      if (board_ == nullptr) return;
+      board_->post_many(prefix_ + "/" + std::string(channel), players, rows);
+      return;
     }
-    board_->post(prefix_ + "/" + std::string(channel), p, v);
+    for (std::size_t i = 0; i < players.size(); ++i) {
+      if (is_failed(players[i])) continue;
+      publish(channel, players[i], rows[i]);
+    }
   }
 
   // Degradation hooks of the Zero Radius Space concept (all no-ops
@@ -83,15 +106,21 @@ class BitSpace {
     forged_ = std::move(forged);
   }
 
+  /// Whether corrupt_posts would currently rewrite anything — lets the
+  /// vote path skip copying the posts when nobody lies.
+  [[nodiscard]] bool corrupts_posts() const { return !byzantine_.empty(); }
+
   /// Zero Radius voting hook (see zero_radius.hpp).
   void corrupt_posts(const std::vector<PlayerId>& posters,
                      std::span<const std::uint32_t> object_ids,
-                     std::vector<std::vector<Value>>& posts) {
+                     std::vector<bits::BitVector>& posts) {
     if (byzantine_.empty()) return;
+    // tmwia-lint: allow(per-bit-loop) indexed gather onto the vote's object ids; runs only for byzantine liars
     for (std::size_t i = 0; i < posters.size(); ++i) {
       if (!std::binary_search(byzantine_.begin(), byzantine_.end(), posters[i])) continue;
+      // tmwia-lint: allow(per-bit-loop) see above: projection of the forged vector is a per-object gather
       for (std::size_t j = 0; j < object_ids.size(); ++j) {
-        posts[i][j] = forged_.get(object_ids[j]) ? Value{1} : Value{0};
+        posts[i].set(j, forged_.get(object_ids[j]));
       }
     }
   }

@@ -21,7 +21,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "tmwia/bits/trivector.hpp"
@@ -29,7 +30,32 @@
 namespace tmwia::core {
 
 /// Probe callback: coordinate index -> the player's hidden bit.
-using ProbeFn = std::function<bool(std::uint32_t)>;
+///
+/// A non-owning view of the caller's callable (a function_ref): Select
+/// and RSelect run millions of times per experiment, and an owning
+/// std::function here would heap-allocate per call for any capture
+/// over two words (exactly the oracle+player+objects closures every
+/// caller passes). The view is only valid while the referenced
+/// callable lives — which holds for the universal pattern of passing a
+/// lambda to a single select/rselect invocation. Do not store one.
+class ProbeFn {
+ public:
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, ProbeFn> &&
+             std::is_invocable_r_v<bool, F&, std::uint32_t>)
+  // NOLINTNEXTLINE(google-explicit-constructor) bind call-site lambdas implicitly
+  ProbeFn(F&& f)
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, std::uint32_t j) -> bool {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(j);
+        }) {}
+
+  bool operator()(std::uint32_t j) const { return call_(obj_, j); }
+
+ private:
+  void* obj_;
+  bool (*call_)(void*, std::uint32_t);
+};
 
 struct SelectResult {
   /// Index into the candidate list of the chosen vector.

@@ -29,6 +29,7 @@
 
 #include "tmwia/billboard/billboard.hpp"
 #include "tmwia/billboard/probe_oracle.hpp"
+#include "tmwia/bits/kernels.hpp"
 #include "tmwia/core/find_preferences.hpp"
 #include "tmwia/core/params.hpp"
 #include "tmwia/faults/fault_injector.hpp"
@@ -60,6 +61,12 @@ class Session {
   Session& seed(std::uint64_t s);
   /// Probe-noise model (default noiseless).
   Session& noise(billboard::NoiseModel n);
+  /// Distance-kernel backend (default: leave the process-global choice
+  /// alone — kAuto unless TMWIA_KERNEL or earlier code overrode it).
+  /// Applied at build() via bits::kernels::set_backend; throws there if
+  /// this CPU cannot run the requested backend. Every backend computes
+  /// identical results — this knob trades speed, never output.
+  Session& kernel(bits::KernelBackend b);
   /// Fault plan, as a spec string (see faults::FaultPlan::parse) ...
   Session& faults(std::string_view spec);
   /// ... or pre-built.
@@ -102,6 +109,7 @@ class Session {
   core::Params params_;
   std::uint64_t seed_ = 1;
   billboard::NoiseModel noise_;
+  std::optional<bits::KernelBackend> kernel_;
   std::optional<faults::FaultPlan> fault_plan_;
   std::string metrics_path_;
   std::string trace_path_;

@@ -1,8 +1,10 @@
 #include "tmwia/core/rselect.hpp"
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
+#include "tmwia/bits/kernels.hpp"
 #include "tmwia/obs/metrics.hpp"
 #include "tmwia/rng/partition.hpp"
 
@@ -43,37 +45,38 @@ RSelectResult rselect_closest(const std::vector<bits::TriVector>& candidates, st
   const auto budget = static_cast<std::size_t>(
       std::ceil(params.rs_c * std::log2(static_cast<double>(std::max<std::size_t>(n, 2)))));
 
-  std::vector<std::uint32_t> diff_coords;
+  // Per-pair scratch. RSelect runs inside parallel player code, one
+  // call at a time per worker thread, and probe callbacks never
+  // re-enter rselect_closest — so thread_local buffers are safe and
+  // keep the O(k^2) pair loop allocation-free.
+  static thread_local std::vector<std::uint32_t> diff_coords;
+  static thread_local std::vector<std::uint32_t> picked;
+
   for (std::size_t a = 0; a < k; ++a) {
     for (std::size_t b = a + 1; b < k; ++b) {
-      // X = coordinates where both candidates are known and differ.
-      diff_coords.clear();
-      const std::size_t m = candidates[a].size();
-      for (std::size_t j = 0; j < m; ++j) {
-        const bits::Tri ta = candidates[a].get(j);
-        const bits::Tri tb = candidates[b].get(j);
-        if (ta != bits::Tri::kUnknown && tb != bits::Tri::kUnknown && ta != tb) {
-          diff_coords.push_back(static_cast<std::uint32_t>(j));
-        }
-      }
+      // X = coordinates where both candidates are known and differ,
+      // enumerated word-parallel ((va ^ vb) & ka & kb, then bit
+      // extraction — ascending order, same as the per-coordinate scan
+      // it replaces).
+      bits::kernels::known_diff_positions(candidates[a], candidates[b], diff_coords);
       if (diff_coords.empty()) continue;
 
-      std::vector<std::uint32_t> sample;
-      if (diff_coords.size() <= budget) {
-        sample = diff_coords;
-      } else {
+      std::span<const std::uint32_t> sample = diff_coords;
+      if (diff_coords.size() > budget) {
         const auto idx = rng::sample_without_replacement(diff_coords.size(), budget, rng);
-        sample.reserve(budget);
-        for (std::uint32_t i : idx) sample.push_back(diff_coords[i]);
+        picked.clear();
+        for (std::uint32_t i : idx) picked.push_back(diff_coords[i]);
+        sample = picked;
       }
 
       std::size_t agree_a = 0;
+      // tmwia-lint: allow(per-bit-loop) RSelect probes each sampled coordinate individually by protocol
       for (std::uint32_t j : sample) {
         const bool bit = probe(j);
         ++res.probes;
-        // On X, candidate a and b disagree, so the bit agrees with
-        // exactly one of them.
-        if ((candidates[a].get(j) == bits::Tri::kOne) == bit) ++agree_a;
+        // On X, candidate a and b disagree and both are known, so the
+        // bit agrees with exactly one of them.
+        if (candidates[a].value_plane().get(j) == bit) ++agree_a;
       }
       const double frac_a =
           static_cast<double>(agree_a) / static_cast<double>(sample.size());

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "tmwia/bits/kernels.hpp"
+
 namespace tmwia::core {
 namespace {
 
@@ -63,6 +65,12 @@ std::string RunReport::to_json() const {
   out += std::to_string(rounds);
   out += ",\"total_probes\":";
   out += std::to_string(total_probes);
+  // The resolved (never kAuto) distance-kernel backend the run used.
+  // Provenance only: backends compute identical integers, so parity
+  // tooling diffing reports across backends strips this one field.
+  out += ",\"kernel\":\"";
+  out += bits::kernels::backend_name(bits::kernels::active_backend());
+  out.push_back('"');
   switch (algo) {
     case Algo::kFixedD:
       out += ",\"branch\":\"";

@@ -112,6 +112,12 @@ Session& Session::noise(billboard::NoiseModel n) {
   return *this;
 }
 
+Session& Session::kernel(bits::KernelBackend b) {
+  require_unbuilt("kernel");
+  kernel_ = b;
+  return *this;
+}
+
 Session& Session::faults(std::string_view spec) {
   return faults(faults::FaultPlan::parse(spec));
 }
@@ -150,6 +156,9 @@ Session& Session::record_sink(std::string path, obs::RecordFormat format) {
 void Session::build() {
   if (built_) return;
   built_ = true;
+  // Backend selection happens here, serially, before any phase runs —
+  // set_backend must not race with in-flight distance calls.
+  if (kernel_.has_value()) bits::kernels::set_backend(*kernel_);
   oracle_ = std::make_unique<billboard::ProbeOracle>(*truth_, noise_);
   board_ = std::make_unique<billboard::Billboard>();
   if (fault_plan_.has_value()) {

@@ -91,6 +91,16 @@ SmallRadiusResult small_radius(billboard::ProbeOracle& oracle, billboard::Billbo
         rec->note("sr.part", votable.size(), candidates.size());
       }
 
+      // Every player scatters through the same position set: build the
+      // part's mask once and use the word-parallel deposit, unless the
+      // part is so sparse that per-coordinate writes touch fewer words.
+      bits::BitVector pos_mask;
+      const bool use_mask = positions.size() >= bits::BitVector::word_count(m) / 2;
+      if (use_mask) {
+        pos_mask = bits::BitVector(m);
+        for (std::uint32_t pos : positions) pos_mask.set(pos, true);
+      }
+
       // Step 1c: each player adopts the closest popular vector within
       // distance D (falling back to its own Zero Radius output when no
       // vector met the popularity bar — that player is not typical in
@@ -99,16 +109,25 @@ SmallRadiusResult small_radius(billboard::ProbeOracle& oracle, billboard::Billbo
       // best effort.
       engine::parallel_for(0, players.size(), [&](std::size_t pi) {
         const PlayerId p = players[pi];
-        bits::BitVector chosen;
-        if (candidates.empty() || failed(p)) {
-          chosen = zr_out[pi];
-        } else {
-          const auto sel = select_closest(candidates, D, [&](std::uint32_t j) {
-            return oracle.probe_resilient(p, part_objects[j]);
-          });
-          chosen = candidates[sel.index];
+        const bits::BitVector* chosen = &zr_out[pi];
+        if (!candidates.empty() && !failed(p)) {
+          if (candidates.size() == 1) {
+            // A quorum vote usually leaves one popular vector; Select
+            // over a singleton probes nothing and picks it — skip the
+            // call (identical output and probe count).
+            chosen = &candidates[0];
+          } else {
+            const auto sel = select_closest(candidates, D, [&](std::uint32_t j) {
+              return oracle.probe_resilient(p, part_objects[j]);
+            });
+            chosen = &candidates[sel.index];
+          }
         }
-        stitched[t][pi].scatter(chosen, positions);
+        if (use_mask) {
+          stitched[t][pi].scatter_masked(*chosen, pos_mask);
+        } else {
+          stitched[t][pi].scatter(*chosen, positions);
+        }
       });
     }
   }
@@ -128,7 +147,9 @@ SmallRadiusResult small_radius(billboard::ProbeOracle& oracle, billboard::Billbo
     }
     std::vector<bits::BitVector> candidates;
     candidates.reserve(K);
-    for (std::size_t t = 0; t < K; ++t) candidates.push_back(stitched[t][pi]);
+    // stitched is dead after this pass; moving the rows saves K
+    // heap-backed copies per player.
+    for (std::size_t t = 0; t < K; ++t) candidates.push_back(std::move(stitched[t][pi]));
     const auto sel = select_closest(candidates, final_bound, [&](std::uint32_t j) {
       return oracle.probe_resilient(p, objects[j]);
     });

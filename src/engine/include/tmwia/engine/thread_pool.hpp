@@ -64,11 +64,30 @@ class ThreadPool {
 /// pool already exists.
 bool set_global_threads(std::size_t threads);
 
+namespace detail {
+
+/// Chunked pool dispatch behind parallel_for; the type-erased body is
+/// constructed once per parallel_for call (not per element).
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& body, std::size_t grain);
+
+}  // namespace detail
+
 /// Run body(i) for i in [begin, end) across the pool in fixed chunks.
 /// Blocks until complete. Exceptions in body are rethrown (first one
-/// wins). Falls back to serial execution for tiny ranges.
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body,
-                  std::size_t grain = 64);
+/// wins). Falls back to serial execution for tiny ranges and
+/// single-thread pools — inlined here so the per-element calls carry no
+/// type-erasure cost on that path (per-player loops run tens of
+/// millions of elements).
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, const Body& body,
+                  std::size_t grain = 64) {
+  if (end <= begin) return;
+  if (end - begin <= grain || ThreadPool::global().thread_count() == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  detail::parallel_for_chunks(begin, end, body, grain);
+}
 
 }  // namespace tmwia::engine

@@ -81,16 +81,11 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body, std::size_t grain) {
-  if (end <= begin) return;
+void detail::parallel_for_chunks(std::size_t begin, std::size_t end,
+                                 const std::function<void(std::size_t)>& body,
+                                 std::size_t grain) {
   const std::size_t n = end - begin;
   auto& pool = ThreadPool::global();
-  if (n <= grain || pool.thread_count() == 1) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
-    return;
-  }
-
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex err_mu;

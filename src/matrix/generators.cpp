@@ -47,9 +47,9 @@ void drift(Instance& inst, std::size_t center_flips, std::size_t player_flips,
 
 bits::BitVector random_vector(std::size_t m, rng::Rng& rng) {
   bits::BitVector v(m);
-  for (std::size_t o = 0; o < m; ++o) {
-    if (rng.coin()) v.set(o, true);
-  }
+  // One generator draw per 64 coordinates (benchmark setup spends most
+  // of its time here at the bit-per-draw rate).
+  v.fill_words([&rng] { return rng.next(); });
   return v;
 }
 

@@ -11,9 +11,6 @@
 namespace tmwia::obs {
 namespace {
 
-// tmwia-lint: allow(nonconst-global) registered singleton: process-wide recorder slot
-std::atomic<FlightRecorder*> g_recorder{nullptr};
-
 constexpr char kBinaryMagic[8] = {'T', 'M', 'W', 'I', 'A', 'F', 'R', '1'};
 
 void append_json_string(std::string& out, std::string_view s) {
@@ -415,10 +412,6 @@ void FlightRecorder::resume_run(std::size_t players, std::uint64_t clock) {
   depth_ = 1;  // re-open the checkpointed run scope silently
   if (stages_.size() < players) stages_.resize(players);
 }
-
-FlightRecorder* recorder() { return g_recorder.load(std::memory_order_relaxed); }
-
-void set_recorder(FlightRecorder* r) { g_recorder.store(r, std::memory_order_release); }
 
 // ---------------------------------------------------------------------------
 // Reader

@@ -236,10 +236,16 @@ class FlightRecorder {
 
 /// Process-global recorder used by the library's built-in record
 /// points. Null (recording off) until a sink installs one; reading it
-/// is one relaxed atomic load. The caller keeps ownership and must
-/// clear it (set_recorder(nullptr)) before the recorder dies.
-FlightRecorder* recorder();
-void set_recorder(FlightRecorder* r);
+/// is one relaxed atomic load — inline, because the probe hot path
+/// performs this check tens of millions of times per run.
+namespace detail {
+// tmwia-lint: allow(nonconst-global) the process-wide recorder slot itself; installed/cleared only by sink owners via set_recorder
+inline std::atomic<FlightRecorder*> g_recorder{nullptr};
+}  // namespace detail
+inline FlightRecorder* recorder() { return detail::g_recorder.load(std::memory_order_relaxed); }
+inline void set_recorder(FlightRecorder* r) {
+  detail::g_recorder.store(r, std::memory_order_release);
+}
 
 /// A parsed flight log (either wire format).
 struct RecorderLog {

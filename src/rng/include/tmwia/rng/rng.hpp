@@ -73,8 +73,24 @@ class Rng {
   }
 
   /// Uniform integer in [0, bound). Requires bound >= 1. Uses Lemire's
-  /// nearly-divisionless rejection method — unbiased.
-  std::uint64_t uniform(std::uint64_t bound);
+  /// nearly-divisionless rejection method — unbiased. Inline: partition
+  /// and sampling loops draw millions of values per run, and the call
+  /// overhead rivals the multiply itself.
+  std::uint64_t uniform(std::uint64_t bound) {
+    // Lemire 2019, "Fast Random Integer Generation in an Interval".
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < bound) [[unlikely]] {
+      const std::uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive.
   std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi) {

@@ -57,16 +57,27 @@ Partition assign_to_parts(const std::vector<std::uint32_t>& ids, std::size_t s,
 
 std::vector<std::uint32_t> sample_without_replacement(std::size_t n, std::size_t k, Rng& rng) {
   if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
-  // Floyd's algorithm: k uniform draws, no O(n) scratch.
+  // Floyd's algorithm: k uniform draws. Membership is checked against a
+  // packed bitmap rather than a linear scan of the output — the draw
+  // sequence (and therefore the sample) is unchanged, but the loop is
+  // O(k) instead of O(k^2); RSelect calls this once per candidate pair.
   std::vector<std::uint32_t> out;
   out.reserve(k);
+  // Generation-stamped membership: stamp[t] == gen means "t already
+  // chosen this call", so successive calls share the scratch without
+  // clearing it.
+  static thread_local std::vector<std::uint32_t> stamp;
+  static thread_local std::uint32_t gen = 0;
+  if (stamp.size() < n) stamp.resize(n, 0);
+  if (++gen == 0) {
+    std::fill(stamp.begin(), stamp.end(), 0);
+    gen = 1;
+  }
   for (std::size_t j = n - k; j < n; ++j) {
-    const auto t = static_cast<std::uint32_t>(rng.uniform(j + 1));
-    if (std::find(out.begin(), out.end(), t) == out.end()) {
-      out.push_back(t);
-    } else {
-      out.push_back(static_cast<std::uint32_t>(j));
-    }
+    auto t = static_cast<std::uint32_t>(rng.uniform(j + 1));
+    if (stamp[t] == gen) t = static_cast<std::uint32_t>(j);
+    stamp[t] = gen;
+    out.push_back(t);
   }
   std::sort(out.begin(), out.end());
   return out;

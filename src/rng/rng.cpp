@@ -1,21 +1,6 @@
 #include "tmwia/rng/rng.hpp"
 
-namespace tmwia::rng {
+// Rng is header-only for speed (uniform() sits in partition/sampling
+// hot loops); this TU remains as the library's anchor.
 
-std::uint64_t Rng::uniform(std::uint64_t bound) {
-  // Lemire 2019, "Fast Random Integer Generation in an Interval".
-  std::uint64_t x = next();
-  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
-  auto l = static_cast<std::uint64_t>(m);
-  if (l < bound) {
-    const std::uint64_t t = (0 - bound) % bound;
-    while (l < t) {
-      x = next();
-      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
-      l = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
-}  // namespace tmwia::rng
+namespace tmwia::rng {}  // namespace tmwia::rng

@@ -252,6 +252,10 @@ TEST(TriVector, LexCompareOrdersZeroOneUnknown) {
 }
 
 // ---------------------------------------------------------------- hamming.hpp
+// These exercise the deprecated compatibility forwards on purpose; the
+// kernel layer they forward to is covered by tests/kernels_test.cpp.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 TEST(Hamming, DiameterOfSet) {
   std::vector<BitVector> vs{BitVector::from_string("0000"), BitVector::from_string("0011"),
@@ -285,6 +289,8 @@ TEST(Hamming, BallSizeAndMembers) {
   EXPECT_EQ(members[0], 0u);
   EXPECT_EQ(members[1], 1u);
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace tmwia::bits

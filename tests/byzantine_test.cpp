@@ -39,18 +39,9 @@ std::vector<bits::BitVector> run_with_byzantine(const Setup& s, double alpha,
                                                 std::uint64_t seed) {
   BitSpace space(oracle, nullptr);
   space.set_byzantine(liars, forged);
-  const auto raw = zero_radius(space, s.players, s.objects, alpha, Params::practical(),
-                               rng::Rng(seed), s.players.size());
-  std::vector<bits::BitVector> out;
-  out.reserve(raw.size());
-  for (const auto& row : raw) {
-    bits::BitVector v(row.size());
-    for (std::size_t j = 0; j < row.size(); ++j) {
-      if (row[j] != 0) v.set(j, true);
-    }
-    out.push_back(std::move(v));
-  }
-  return out;
+  // BitSpace rows are packed BitVectors already.
+  return zero_radius(space, s.players, s.objects, alpha, Params::practical(), rng::Rng(seed),
+                     s.players.size());
 }
 
 TEST(Byzantine, HonestCommunitySurvivesCoordinatedForgery) {

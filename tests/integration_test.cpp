@@ -83,11 +83,7 @@ TEST(Integration, NoisePlusByzantineIsADocumentedBoundary) {
 
   std::size_t worst = 0;
   for (auto p : inst.communities[0]) {
-    bits::BitVector v(n);
-    for (std::size_t j = 0; j < n; ++j) {
-      if (raw[p][j] != 0) v.set(j, true);
-    }
-    worst = std::max(worst, v.hamming(inst.matrix.row(p)));
+    worst = std::max(worst, raw[p].hamming(inst.matrix.row(p)));
   }
   // The attack lands: some community member adopts forged halves.
   EXPECT_GT(worst, n / 8);

@@ -19,7 +19,9 @@ namespace {
 using bits::BitVector;
 using bits::TriVector;
 
-ProbeFn probe_of(const BitVector& truth, std::size_t* counter = nullptr) {
+// Returns the closure itself (not a ProbeFn): ProbeFn is a non-owning
+// view, so the callable must outlive the select call it is passed to.
+auto probe_of(const BitVector& truth, std::size_t* counter = nullptr) {
   return [&truth, counter](std::uint32_t j) {
     if (counter != nullptr) ++*counter;
     return truth.get(j);

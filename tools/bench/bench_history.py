@@ -60,14 +60,18 @@ def load_bench_files(bench_dir: Path) -> list[dict]:
         for key in ("bench", "ok", "wall_ms"):
             if key not in doc:
                 raise SystemExit(f"error: {path} has no {key!r} field")
-        entries.append(
-            {
-                "bench": doc["bench"],
-                "ok": bool(doc["ok"]),
-                "wall_ms": float(doc["wall_ms"]),
-                "metrics": dict(doc.get("metrics", {})),
-            }
-        )
+        entry = {
+            "bench": doc["bench"],
+            "ok": bool(doc["ok"]),
+            "wall_ms": float(doc["wall_ms"]),
+            "metrics": dict(doc.get("metrics", {})),
+        }
+        # Provenance: which distance-kernel backend produced the run.
+        # wall_ms comparisons across backends are apples to oranges, so
+        # the trajectory keeps the label alongside the numbers.
+        if "kernel" in doc:
+            entry["kernel"] = str(doc["kernel"])
+        entries.append(entry)
     return entries
 
 

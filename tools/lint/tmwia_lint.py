@@ -207,6 +207,30 @@ RULES = [
     ),
 ]
 
+PER_BIT_LOOP = Rule(
+    id="per-bit-loop",
+    description="per-bit get() loop in a distance-critical file; use the "
+    "word-parallel bits/kernels batched API (dist_many, known_diff_positions, "
+    "ball_size, ...) or BitVector word operations instead",
+    # Hot files only: the distance/vote/probe paths where a per-bit loop
+    # is a real regression. Cold setup/diagnostic code may loop bits.
+    dirs=(
+        "src/core/select",
+        "src/core/rselect",
+        "src/core/coalesce",
+        "src/core/small_radius",
+        "src/core/large_radius",
+        "src/core/bit_space",
+        "src/core/include/tmwia/core/select",
+        "src/core/include/tmwia/core/zero_radius.hpp",
+        "src/core/include/tmwia/core/bit_space",
+        "src/billboard/billboard",
+        "src/billboard/probe_oracle",
+        "src/billboard/include/tmwia/billboard/billboard",
+        "src/billboard/include/tmwia/billboard/probe_oracle",
+    ),
+)
+
 NONCONST_GLOBAL = Rule(
     id="nonconst-global",
     description="mutable namespace-scope state; wrap in a registered singleton "
@@ -233,8 +257,8 @@ HEADER_SELFCONTAINED = Rule(
     dirs=("src",),
 )
 
-ALL_RULES = RULES + [NONCONST_GLOBAL, HEADER_PRAGMA_ONCE, HEADER_TEST_STALE,
-                     HEADER_SELFCONTAINED]
+ALL_RULES = RULES + [PER_BIT_LOOP, NONCONST_GLOBAL, HEADER_PRAGMA_ONCE,
+                     HEADER_TEST_STALE, HEADER_SELFCONTAINED]
 
 
 def strip_comments_and_strings(src: str) -> str:
@@ -341,6 +365,40 @@ def parse_pragmas(raw_lines):
             line_allows.setdefault(idx, set()).update(rules)
             line_allows.setdefault(idx + 1, set()).update(rules)
     return file_allows, line_allows
+
+
+# A bit read with an index argument. The argument requirement keeps
+# smart-pointer `.get()` (no argument) out of the match.
+_BIT_GET = re.compile(r"\.\s*get\s*\(\s*[^)\s]")
+_FOR_HEADER = re.compile(r"\bfor\s*\(")
+
+
+def scan_per_bit_loops(stripped_lines, raw_lines, relpath):
+    """Flag for-loops whose lexical extent reads bits one index at a
+    time. The extent runs from the for-header until the loop's braces
+    balance out (capped: hot loops here are short); a brace-less loop
+    body is its following line."""
+    findings = []
+    n = len(stripped_lines)
+    for idx, header in enumerate(stripped_lines):
+        m = _FOR_HEADER.search(header)
+        if m is None:
+            continue
+        depth = 0
+        opened = False
+        for j in range(idx, min(idx + 12, n)):
+            seg = stripped_lines[j][m.end():] if j == idx else stripped_lines[j]
+            if _BIT_GET.search(seg):
+                findings.append(Finding(PER_BIT_LOOP.id, relpath, idx + 1,
+                                        raw_lines[idx].strip()[:160]))
+                break
+            depth += seg.count("{") - seg.count("}")
+            opened = opened or "{" in seg
+            if opened and depth <= 0:
+                break
+            if not opened and j > idx:
+                break  # brace-less body: one line past the header
+    return findings
 
 
 # Declaration statements that are not mutable globals.
@@ -572,6 +630,10 @@ def lint(root: str, compile_checks: bool, quiet: bool):
                         emit(Finding(rule.id, relpath, lineno,
                                      raw_lines[lineno - 1].strip()[:160]))
                         break
+
+        if PER_BIT_LOOP.in_scope(relpath):
+            for f in scan_per_bit_loops(stripped_lines, raw_lines, relpath):
+                emit(f)
 
         if NONCONST_GLOBAL.in_scope(relpath):
             for f in scan_nonconst_globals(stripped, relpath):

@@ -19,6 +19,12 @@
 #              build/bench-history/BENCH_HISTORY.jsonl via
 #              tools/bench/bench_history.py, and --check it against the
 #              best prior run (regression budgets in that script)
+#   kernel-parity opt-in: the distance-kernel determinism contract —
+#              run the kernels parity suite under ASan+UBSan, then
+#              drive one CLI run per backend this CPU supports and
+#              require byte-identical flight-recorder logs, estimate
+#              files, and RunReports (modulo the reports' "kernel"
+#              provenance field, which names the backend by design)
 #   kill-resume opt-in: durability drill — checkpoint an e8-scale
 #              unknown_d run, SIGKILL it mid-phase via the kill-at-round
 #              fault, resume from the snapshot, and require the
@@ -29,7 +35,8 @@
 # Usage:
 #   tools/run_tests.sh [--plain-only|--sanitize-only|--tsan-only]
 #                      [--lint-only] [--audit] [--bench-json]
-#                      [--bench-history] [--kill-resume] [-j N]
+#                      [--bench-history] [--kernel-parity]
+#                      [--kill-resume] [-j N]
 #
 # Default runs lint + plain + asan + tsan; all requested stages must pass.
 set -euo pipefail
@@ -43,6 +50,7 @@ RUN_TSAN=1
 RUN_AUDIT=0
 RUN_BENCH_JSON=0
 RUN_BENCH_HISTORY=0
+RUN_KERNEL_PARITY=0
 RUN_KILL_RESUME=0
 
 while [[ $# -gt 0 ]]; do
@@ -54,6 +62,7 @@ while [[ $# -gt 0 ]]; do
     --audit) RUN_AUDIT=1 ;;
     --bench-json) RUN_BENCH_JSON=1 ;;
     --bench-history) RUN_BENCH_HISTORY=1 ;;
+    --kernel-parity) RUN_KERNEL_PARITY=1 ;;
     --kill-resume) RUN_KILL_RESUME=1 ;;
     -j) JOBS="$2"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
@@ -141,6 +150,14 @@ if [[ $RUN_BENCH_HISTORY -eq 1 ]]; then
   cmake --build "$ROOT/build" -j "$JOBS"
   HIST_DIR="$ROOT/build/bench-history"
   mkdir -p "$HIST_DIR"
+  # Fresh build tree: start the trajectory from the committed baseline
+  # so the very first local run is already checked against a real prior
+  # (the kernel-era numbers), not trivially green.
+  if [[ ! -f "$HIST_DIR/BENCH_HISTORY.jsonl" \
+        && -f "$ROOT/tools/bench/BENCH_HISTORY.baseline.jsonl" ]]; then
+    cp "$ROOT/tools/bench/BENCH_HISTORY.baseline.jsonl" "$HIST_DIR/BENCH_HISTORY.jsonl"
+    echo "-- seeded baseline from tools/bench/BENCH_HISTORY.baseline.jsonl"
+  fi
   for b in "$ROOT"/build/bench/e*; do
     [[ -x "$b" ]] || continue
     name="$(basename "$b")"
@@ -150,6 +167,56 @@ if [[ $RUN_BENCH_HISTORY -eq 1 ]]; then
     (cd "$HIST_DIR" && TMWIA_BENCH_DIR="$HIST_DIR" "$b" > "$name.log" 2>&1) || true
   done
   python3 "$ROOT/tools/bench/bench_history.py" --bench-dir "$HIST_DIR" --check
+fi
+
+if [[ $RUN_KERNEL_PARITY -eq 1 ]]; then
+  echo "== kernel parity =="
+  # The determinism contract (bits/kernels.hpp): every backend computes
+  # the same integers, so switching backends must not change a single
+  # observable byte of a run. First the randomized parity suite under
+  # ASan+UBSan, then an end-to-end CLI cross-check.
+  cmake -B "$ROOT/build-asan" -S "$ROOT" -DTMWIA_SANITIZE=ON >/dev/null
+  cmake --build "$ROOT/build-asan" -j "$JOBS" --target test_kernels tmwia_cli
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+  ctest --test-dir "$ROOT/build-asan" --output-on-failure -j "$JOBS" \
+    -R '(Kernels|RankSelect)'
+
+  CLI="$ROOT/build-asan/tools/tmwia_cli"
+  PAR_DIR="$(mktemp -d)"
+  "$CLI" gen --kind=planted --n=96 --m=128 --alpha=0.5 --radius=1 --seed=7 \
+    --out="$PAR_DIR/world.tmw" >/dev/null
+  ref=""
+  for k in scalar avx2 avx512; do
+    rc=0
+    "$CLI" run --in="$PAR_DIR/world.tmw" --algo=unknown_d --alpha=0.5 --seed=11 \
+      --kernel="$k" --record="$PAR_DIR/$k.jsonl" --report="$PAR_DIR/$k.json" \
+      --out="$PAR_DIR/$k.txt" >/dev/null 2>"$PAR_DIR/$k.err" || rc=$?
+    if [[ $rc -eq 2 ]] && grep -q "not supported on this CPU" "$PAR_DIR/$k.err"; then
+      echo "-- $k: not supported on this CPU; skipped"
+      continue
+    fi
+    if [[ $rc -ne 0 ]]; then
+      cat "$PAR_DIR/$k.err" >&2
+      echo "kernel parity: --kernel=$k run failed (rc=$rc)" >&2
+      rm -rf "$PAR_DIR"
+      exit 1
+    fi
+    # The RunReport names its backend on purpose; normalize that one
+    # field before demanding byte equality.
+    sed 's/"kernel":"[a-z0-9]*"/"kernel":"_"/' "$PAR_DIR/$k.json" \
+      >"$PAR_DIR/$k.normalized.json"
+    if [[ -z "$ref" ]]; then
+      ref="$k"
+      echo "-- $k: reference"
+      continue
+    fi
+    cmp "$PAR_DIR/$ref.jsonl" "$PAR_DIR/$k.jsonl"
+    cmp "$PAR_DIR/$ref.txt" "$PAR_DIR/$k.txt"
+    cmp "$PAR_DIR/$ref.normalized.json" "$PAR_DIR/$k.normalized.json"
+    echo "-- $k: flight log, estimates, and report match $ref"
+  done
+  rm -rf "$PAR_DIR"
 fi
 
 if [[ $RUN_KILL_RESUME -eq 1 ]]; then

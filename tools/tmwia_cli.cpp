@@ -54,6 +54,7 @@
 
 #include "tmwia/baselines/baselines.hpp"
 #include "tmwia/billboard/protocol_auditor.hpp"
+#include "tmwia/bits/kernels.hpp"
 #include "tmwia/billboard/strategies.hpp"
 #include "tmwia/core/checkpoint.hpp"
 #include "tmwia/core/session.hpp"
@@ -113,6 +114,8 @@ const io::FlagTable& flag_table() {
           {"report", "FILE", "write the RunReport (phase timeline) as JSON here",
            "run,resume"},
           {"threads", "N", "global thread-pool size (0 = hardware)", "run,resume"},
+          {"kernel", "B", "distance-kernel backend: scalar|avx2|avx512|auto "
+           "(default auto; any choice computes identical results)", "run,resume"},
           {"checkpoint", "FILE", "checkpoint file (written by run, read+rewritten by "
            "resume)", "run,resume"},
           {"checkpoint-every", "R", "checkpoint cadence in rounds (0 = never; resume "
@@ -139,6 +142,20 @@ std::string require(const io::Args& args, const std::string& key) {
   const auto v = args.get(key);
   if (!v) throw std::invalid_argument("missing required --" + key);
   return *v;
+}
+
+/// Apply --kernel=B (if given) before any distance work runs. Unknown
+/// names and backends this CPU cannot execute are usage errors
+/// (set_backend's invalid_argument maps to exit code 2).
+void apply_kernel_flag(const io::Args& args) {
+  const auto name = args.get("kernel");
+  if (!name.has_value()) return;
+  const auto backend = bits::kernels::parse_backend(*name);
+  if (!backend.has_value()) {
+    throw std::invalid_argument("--kernel: unknown backend '" + *name +
+                                "' (expected scalar|avx2|avx512|auto)");
+  }
+  bits::kernels::set_backend(*backend);
 }
 
 /// One durable line of JSON (report, metrics snapshot): written through
@@ -284,8 +301,10 @@ int cmd_run(const io::Args& args) {
       profile == "paper" ? core::Params::paper() : core::Params::practical();
 
   // Observability sinks. The thread count must be requested before the
-  // first parallel phase constructs the global pool.
+  // first parallel phase constructs the global pool, and the kernel
+  // backend before the first distance call.
   engine::set_global_threads(static_cast<std::size_t>(args.get_int("threads", 0)));
+  apply_kernel_flag(args);
   const auto metrics_path = args.get("metrics");
   if (metrics_path.has_value()) obs::MetricsRegistry::global().set_enabled(true);
   ObsSinks sinks;
@@ -475,6 +494,7 @@ int cmd_resume(const io::Args& args) {
       profile == "paper" ? core::Params::paper() : core::Params::practical();
 
   engine::set_global_threads(static_cast<std::size_t>(args.get_int("threads", 0)));
+  apply_kernel_flag(args);
   const auto metrics_path = args.get("metrics");
   if (metrics_path.has_value()) obs::MetricsRegistry::global().set_enabled(true);
   ObsSinks sinks;
