@@ -35,7 +35,7 @@ void Billboard::post(const std::string& channel, matrix::PlayerId p, const bits:
   if (auto* rec = obs::recorder()) {
     rec->vector_post(static_cast<std::uint32_t>(p), channel, v.hash(), v.size());
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   auto& ch = channels_[channel];
   ch.pending.emplace_back(p, v);
   ++ch.version;
@@ -54,7 +54,7 @@ void Billboard::post_many(const std::string& channel, std::span<const matrix::Pl
                        rows[i].size());
     }
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   auto& ch = channels_[channel];
   ch.pending.reserve(ch.pending.size() + players.size());
   for (std::size_t i = 0; i < players.size(); ++i) {
@@ -63,7 +63,7 @@ void Billboard::post_many(const std::string& channel, std::span<const matrix::Pl
   ch.version += players.size();
 }
 
-void Billboard::consolidate(Channel& ch) {
+void Billboard::consolidate(Channel& ch) const {
   if (ch.pending.empty()) return;
   board_metrics().consolidations.inc();
 
@@ -163,7 +163,7 @@ std::vector<VotedVector> tally(std::span<const bits::BitVector> posts,
 std::vector<VotedVector> Billboard::popular(const std::string& channel,
                                             std::uint32_t min_votes) const {
   board_metrics().reads.inc();
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   const auto it = channels_.find(channel);
   if (it == channels_.end()) return {};
   auto& ch = it->second;
@@ -180,7 +180,7 @@ std::vector<VotedVector> Billboard::popular(const std::string& channel,
 }
 
 std::size_t Billboard::posters(const std::string& channel) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   const auto it = channels_.find(channel);
   if (it == channels_.end()) return 0;
   consolidate(it->second);
@@ -188,7 +188,7 @@ std::size_t Billboard::posters(const std::string& channel) const {
 }
 
 bool Billboard::has_posted(const std::string& channel, matrix::PlayerId p) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   const auto it = channels_.find(channel);
   if (it == channels_.end()) return false;
   consolidate(it->second);
@@ -196,7 +196,7 @@ bool Billboard::has_posted(const std::string& channel, matrix::PlayerId p) const
 }
 
 Billboard::ChannelView Billboard::snapshot(const std::string& channel) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   ChannelView view;
   const auto it = channels_.find(channel);
   if (it == channels_.end()) return view;
@@ -207,7 +207,7 @@ Billboard::ChannelView Billboard::snapshot(const std::string& channel) const {
 }
 
 void Billboard::clear(const std::string& channel) {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   const auto it = channels_.find(channel);
   if (it == channels_.end()) return;
   // Keep the entry so the epoch survives name recycling.
@@ -224,7 +224,7 @@ void Billboard::clear(const std::string& channel) {
 }
 
 std::size_t Billboard::total_posts() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   std::size_t t = 0;
   for (auto& [name, ch] : channels_) {
     consolidate(ch);
@@ -234,7 +234,7 @@ std::size_t Billboard::total_posts() const {
 }
 
 std::vector<Billboard::ChannelDump> Billboard::export_posts() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   std::vector<ChannelDump> out;
   out.reserve(channels_.size());
   for (auto& [name, ch] : channels_) {
@@ -255,7 +255,7 @@ std::vector<Billboard::ChannelDump> Billboard::export_posts() const {
 }
 
 void Billboard::restore_posts(const std::vector<ChannelDump>& dump) {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   channels_.clear();
   for (const auto& chd : dump) {
     auto& ch = channels_[chd.channel];

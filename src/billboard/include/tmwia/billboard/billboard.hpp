@@ -21,7 +21,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -30,6 +29,7 @@
 #include "tmwia/bits/bitvector.hpp"
 #include "tmwia/bits/rank_select.hpp"
 #include "tmwia/matrix/ids.hpp"
+#include "tmwia/support/thread_annotations.hpp"
 
 namespace tmwia::billboard {
 
@@ -129,11 +129,12 @@ class Billboard {
   };
 
   /// Merge `pending` into the consolidated index (later posts by the
-  /// same player win). Amortized O(new posts) per read burst.
-  static void consolidate(Channel& ch);
+  /// same player win). Amortized O(new posts) per read burst. `ch` is
+  /// always an element of channels_, hence the capability requirement.
+  void consolidate(Channel& ch) const TMWIA_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  mutable std::unordered_map<std::string, Channel> channels_;
+  mutable support::Mutex mu_;
+  mutable std::unordered_map<std::string, Channel> channels_ TMWIA_GUARDED_BY(mu_);
 };
 
 }  // namespace tmwia::billboard

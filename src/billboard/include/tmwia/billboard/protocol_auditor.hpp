@@ -34,12 +34,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "tmwia/bits/bitvector.hpp"
 #include "tmwia/matrix/ids.hpp"
+#include "tmwia/support/thread_annotations.hpp"
 
 namespace tmwia::billboard {
 
@@ -119,14 +119,19 @@ class ProtocolAuditor {
   std::size_t players_;
   std::size_t objects_;
 
-  // A4 ledgers (owner-written per player, relaxed — see ProbeOracle).
+  // A4 ledgers: deliberately NOT guarded by mu_ — attempts_[p] is
+  // owner-written (only the thread running player p, relaxed — see
+  // ProbeOracle), the aggregates are relaxed atomics read at serial
+  // points.
   std::vector<std::atomic<std::uint64_t>> attempts_;
   std::atomic<std::uint64_t> probes_{0};
   std::atomic<std::uint64_t> reads_{0};
   std::atomic<std::uint64_t> posts_{0};
   std::atomic<std::uint64_t> rounds_{0};
 
-  // Round mode (single-threaded scheduler only).
+  // Round mode: unguarded by contract — only the single-threaded
+  // RoundScheduler touches this block (begin_round/end_round/on_post
+  // are serial hook points).
   bool round_active_ = false;
   std::uint64_t round_ = 0;
   std::vector<std::uint32_t> round_probe_count_;   ///< per player, this round
@@ -135,8 +140,8 @@ class ProtocolAuditor {
   std::vector<std::pair<matrix::PlayerId, matrix::ObjectId>> round_posts_;
   std::vector<bits::BitVector> posted_;  ///< public up to end of previous round
 
-  mutable std::mutex mu_;
-  std::vector<AuditViolation> violations_;
+  mutable support::Mutex mu_;  ///< violations are rare; the list takes a real lock
+  std::vector<AuditViolation> violations_ TMWIA_GUARDED_BY(mu_);
 };
 
 }  // namespace tmwia::billboard

@@ -10,6 +10,14 @@
 // *earlier* rounds. It is used by tests to validate the accounting
 // equivalence and by downstream users who want to drop in their own
 // interactive strategies.
+//
+// Thread safety: the scheduler is single-threaded by contract — one
+// thread drives run()/next_round(), and every mutation of its round
+// state happens on that thread. The concurrent structures it touches
+// (Billboard, ProbeOracle ledgers, ProtocolAuditor) carry their own
+// capability annotations; the scheduler's members are deliberately
+// unguarded because sharing a RoundScheduler across threads is a usage
+// error, not a supported mode.
 #pragma once
 
 #include <cstdint>

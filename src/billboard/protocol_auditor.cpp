@@ -46,7 +46,7 @@ ProtocolAuditor::ProtocolAuditor(std::size_t players, std::size_t objects)
       posted_(players, bits::BitVector(objects)) {}
 
 void ProtocolAuditor::record(AuditViolation v) {
-  const std::scoped_lock lock(mu_);
+  const support::MutexLock lock(mu_);
   violations_.push_back(std::move(v));
 }
 
@@ -155,7 +155,7 @@ AuditReport ProtocolAuditor::report() const {
   r.probes_audited = probes_.load(std::memory_order_relaxed);
   r.reads_audited = reads_.load(std::memory_order_relaxed);
   r.posts_audited = posts_.load(std::memory_order_relaxed);
-  const std::scoped_lock lock(mu_);
+  const support::MutexLock lock(mu_);
   r.violations = violations_;
   return r;
 }
@@ -173,7 +173,7 @@ void ProtocolAuditor::reset() {
   round_posts_.clear();
   for (auto& v : probed_this_round_) v = bits::BitVector(objects_);
   for (auto& v : posted_) v = bits::BitVector(objects_);
-  const std::scoped_lock lock(mu_);
+  const support::MutexLock lock(mu_);
   violations_.clear();
 }
 

@@ -61,10 +61,34 @@ KernelBackend resolve_backend(KernelBackend b);
 /// Select the process-global backend. kAuto (the default) defers to
 /// CPU detection; the TMWIA_KERNEL environment variable, when set to a
 /// backend name, overrides the initial default. Throws
-/// std::invalid_argument for a backend this CPU cannot run. Thread
-/// safety: selection is a relaxed atomic swap — call it from serial
-/// setup code (Session::build, CLI main), not mid-phase.
+/// std::invalid_argument for a backend this CPU cannot run.
+///
+/// Thread safety: the dispatch state is a pair of atomics (requested
+/// backend word + vtable pointer, release-published and
+/// acquire-consumed), so selection never tears a concurrent distance
+/// call. Changing the backend while engine threads are executing a
+/// parallel phase is still a protocol error — different workers could
+/// service one batch with different (identical-result but
+/// different-cost) kernels — so set_backend throws std::logic_error
+/// while any ParallelPhaseGuard is open. Select the backend from
+/// serial setup code (Session::kernel + build, the CLI --kernel flag,
+/// bench setup); between phases the pool is idle and reselection is
+/// legal (the kernel parity suites switch backends run-to-run).
 void set_backend(KernelBackend b);
+
+/// RAII gate the execution engine opens around every pooled parallel
+/// phase (engine::detail::parallel_for_chunks); set_backend refuses
+/// with std::logic_error while any gate is open. Not for general use.
+class ParallelPhaseGuard {
+ public:
+  ParallelPhaseGuard();
+  ~ParallelPhaseGuard();
+  ParallelPhaseGuard(const ParallelPhaseGuard&) = delete;
+  ParallelPhaseGuard& operator=(const ParallelPhaseGuard&) = delete;
+};
+
+/// Open ParallelPhaseGuard count (engine parallel phases in flight).
+std::size_t parallel_phases_active();
 
 /// The backend as requested (may be kAuto).
 KernelBackend requested_backend();

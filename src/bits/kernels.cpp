@@ -84,14 +84,20 @@ KernelBackend initial_backend() {
   return KernelBackend::kAuto;
 }
 
+// Process-global dispatch words. `requested`/`table` are written only
+// by set_backend (serial setup by contract, atomics so a misuse can
+// never tear) and read on every distance call; `busy` counts engine
+// parallel phases in flight and turns mid-phase reselection into a
+// loud std::logic_error instead of a silent race.
 struct Dispatch {
   std::atomic<std::uint8_t> requested;
   std::atomic<const KernelVTable*> table;
+  std::atomic<std::size_t> busy{0};
 
   Dispatch() {
     const KernelBackend b = initial_backend();
     requested.store(static_cast<std::uint8_t>(b), std::memory_order_relaxed);
-    table.store(table_for(b), std::memory_order_relaxed);
+    table.store(table_for(b), std::memory_order_release);
   }
 };
 
@@ -101,7 +107,10 @@ Dispatch& dispatch() {
 }
 
 const KernelVTable& ops() {
-  return *dispatch().table.load(std::memory_order_relaxed);
+  // Acquire pairs with set_backend's release store: a thread that sees
+  // the new pointer sees a fully-published vtable. On x86 this is the
+  // same plain load the hot path always paid.
+  return *dispatch().table.load(std::memory_order_acquire);
 }
 
 void check_pair(const BitVector& a, const BitVector& b, const char* what) {
@@ -147,8 +156,26 @@ void set_backend(KernelBackend b) {
                                 "' is not supported on this CPU");
   }
   auto& d = dispatch();
+  if (d.busy.load(std::memory_order_acquire) != 0) {
+    throw std::logic_error(
+        "kernels::set_backend: engine threads are executing a parallel "
+        "phase; select the backend from serial setup code (Session::kernel, "
+        "--kernel=, TMWIA_KERNEL) before dispatching parallel work");
+  }
   d.requested.store(static_cast<std::uint8_t>(b), std::memory_order_relaxed);
-  d.table.store(t, std::memory_order_relaxed);
+  d.table.store(t, std::memory_order_release);
+}
+
+ParallelPhaseGuard::ParallelPhaseGuard() {
+  dispatch().busy.fetch_add(1, std::memory_order_acq_rel);
+}
+
+ParallelPhaseGuard::~ParallelPhaseGuard() {
+  dispatch().busy.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+std::size_t parallel_phases_active() {
+  return dispatch().busy.load(std::memory_order_acquire);
 }
 
 KernelBackend requested_backend() {

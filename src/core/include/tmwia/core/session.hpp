@@ -64,8 +64,10 @@ class Session {
   /// Distance-kernel backend (default: leave the process-global choice
   /// alone — kAuto unless TMWIA_KERNEL or earlier code overrode it).
   /// Applied at build() via bits::kernels::set_backend; throws there if
-  /// this CPU cannot run the requested backend. Every backend computes
-  /// identical results — this knob trades speed, never output.
+  /// this CPU cannot run the requested backend, or (std::logic_error)
+  /// if engine threads are mid-parallel-phase — selection must stay
+  /// serial setup. Every backend computes identical results — this
+  /// knob trades speed, never output.
   Session& kernel(bits::KernelBackend b);
   /// Fault plan, as a spec string (see faults::FaultPlan::parse) ...
   Session& faults(std::string_view spec);

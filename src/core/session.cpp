@@ -157,7 +157,9 @@ void Session::build() {
   if (built_) return;
   built_ = true;
   // Backend selection happens here, serially, before any phase runs —
-  // set_backend must not race with in-flight distance calls.
+  // set_backend itself rejects (throws) if engine threads are mid
+  // parallel phase, so a misplaced build() fails loudly instead of
+  // racing in-flight distance calls.
   if (kernel_.has_value()) bits::kernels::set_backend(*kernel_);
   oracle_ = std::make_unique<billboard::ProbeOracle>(*truth_, noise_);
   board_ = std::make_unique<billboard::Billboard>();

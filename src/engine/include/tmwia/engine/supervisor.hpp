@@ -22,6 +22,10 @@
 // bench windows on the shared round clock, and phases reuse one
 // scheduler via its monotone round clock (resume_at/next_round), so a
 // supervised run replays byte-identically under the flight recorder.
+//
+// Thread safety: like the RoundScheduler it drives, a Supervisor is
+// single-threaded by contract (members unguarded, one driving thread);
+// parallelism lives below it, inside phases.
 #pragma once
 
 #include <cstdint>

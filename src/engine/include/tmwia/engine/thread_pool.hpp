@@ -10,15 +10,19 @@
 // scheduling.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "tmwia/support/thread_annotations.hpp"
+
 namespace tmwia::engine {
+
+using support::CondVar;
+using support::Mutex;
+using support::MutexLock;
 
 /// A fixed-size pool of worker threads executing submitted tasks.
 class ThreadPool {
@@ -48,13 +52,13 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  ///< written once in the ctor, then join-only
+  Mutex mu_;
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::queue<std::function<void()>> tasks_ TMWIA_GUARDED_BY(mu_);
+  std::size_t in_flight_ TMWIA_GUARDED_BY(mu_) = 0;
+  bool stop_ TMWIA_GUARDED_BY(mu_) = false;
 };
 
 /// Request a size for the process-global pool (0 = hardware

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "tmwia/bits/kernels.hpp"
+
 namespace tmwia::engine {
 namespace {
 
@@ -26,7 +28,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -35,7 +37,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -43,8 +45,8 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+  MutexLock lk(mu_);
+  while (in_flight_ != 0) cv_idle_.wait(lk);
 }
 
 ThreadPool& ThreadPool::global() {
@@ -67,15 +69,15 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lk(mu_);
+      while (!stop_ && tasks_.empty()) cv_task_.wait(lk);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       if (--in_flight_ == 0) cv_idle_.notify_all();
     }
   }
@@ -86,37 +88,45 @@ void detail::parallel_for_chunks(std::size_t begin, std::size_t end,
                                  std::size_t grain) {
   const std::size_t n = end - begin;
   auto& pool = ThreadPool::global();
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex err_mu;
+  // Backend reselection during a phase would hand different workers
+  // different kernel vtables; the gate turns that misuse into a loud
+  // error at the set_backend call site.
+  const bits::kernels::ParallelPhaseGuard kernel_gate;
 
   const std::size_t chunks = (n + grain - 1) / grain;
-  std::atomic<std::size_t> done{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  // All join state lives behind one annotated mutex; the earlier
+  // split (error mutex + bare-atomic completion count read outside any
+  // lock) is exactly the shape the thread-safety analysis rejects.
+  struct Join {
+    Mutex mu;
+    CondVar cv;
+    std::size_t done TMWIA_GUARDED_BY(mu) = 0;
+    std::exception_ptr first_error TMWIA_GUARDED_BY(mu);
+  } join;
+  std::atomic<bool> failed{false};  // advisory skip flag only
 
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * grain;
     const std::size_t hi = std::min(end, lo + grain);
     pool.submit([&, lo, hi] {
+      std::exception_ptr err;
       try {
         if (!failed.load(std::memory_order_relaxed)) {
           for (std::size_t i = lo; i < hi; ++i) body(i);
         }
       } catch (...) {
-        std::lock_guard<std::mutex> lk(err_mu);
-        if (!failed.exchange(true)) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        err = std::current_exception();
       }
-      if (done.fetch_add(1) + 1 == chunks) {
-        std::lock_guard<std::mutex> lk(done_mu);
-        done_cv.notify_all();
-      }
+      MutexLock lk(join.mu);
+      if (err && !join.first_error) join.first_error = err;
+      if (++join.done == chunks) join.cv.notify_all();
     });
   }
 
-  std::unique_lock<std::mutex> lk(done_mu);
-  done_cv.wait(lk, [&] { return done.load() == chunks; });
-  if (failed.load() && first_error) std::rethrow_exception(first_error);
+  MutexLock lk(join.mu);
+  while (join.done != chunks) join.cv.wait(lk);
+  if (join.first_error) std::rethrow_exception(join.first_error);
 }
 
 }  // namespace tmwia::engine

@@ -214,14 +214,14 @@ void FlightRecorder::drain_locked() {
 }
 
 void FlightRecorder::emit_serial(RecorderEvent ev) {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   drain_locked();
   write_locked(ev);
 }
 
 void FlightRecorder::run_begin(std::string_view label, double alpha, std::size_t players,
                                std::size_t objects, std::uint64_t d) {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   drain_locked();
   RecorderEvent ev;
   ev.label = std::string(label);
@@ -242,7 +242,7 @@ void FlightRecorder::run_begin(std::string_view label, double alpha, std::size_t
 }
 
 void FlightRecorder::run_end(std::string_view label, std::uint64_t rounds, std::uint64_t probes) {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   drain_locked();
   RecorderEvent ev;
   ev.label = std::string(label);
@@ -388,7 +388,7 @@ void FlightRecorder::vector_post(std::uint32_t player, std::string_view channel,
 }
 
 void FlightRecorder::flush() {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   drain_locked();
   const auto unstaged = unstaged_dropped_.exchange(0, std::memory_order_relaxed);
   if (unstaged != 0) {
@@ -402,12 +402,12 @@ void FlightRecorder::flush() {
 }
 
 std::uint64_t FlightRecorder::clock() {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   return clock_;
 }
 
 void FlightRecorder::resume_run(std::size_t players, std::uint64_t clock) {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   clock_ = clock;
   depth_ = 1;  // re-open the checkpointed run scope silently
   if (stages_.size() < players) stages_.resize(players);

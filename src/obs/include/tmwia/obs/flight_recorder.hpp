@@ -42,13 +42,13 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "tmwia/bits/bitvector.hpp"
+#include "tmwia/support/thread_annotations.hpp"
 
 namespace tmwia::obs {
 
@@ -216,18 +216,23 @@ class FlightRecorder {
   };
 
   void stage(std::uint32_t player, Staged ev);
-  void drain_locked();
-  void write_locked(RecorderEvent& ev);
-  void emit_serial(RecorderEvent ev);
+  void drain_locked() TMWIA_REQUIRES(mu_);
+  void write_locked(RecorderEvent& ev) TMWIA_REQUIRES(mu_);
+  void emit_serial(RecorderEvent ev) TMWIA_EXCLUDES(mu_);
 
-  std::ostream& out_;
-  RecordFormat format_;
-  std::size_t stage_cap_;
-  OutputEvaluator evaluator_;
+  std::ostream& out_;      ///< written only under mu_ (references can't be guarded)
+  RecordFormat format_;    ///< immutable after construction
+  std::size_t stage_cap_;  ///< immutable after construction
+  OutputEvaluator evaluator_;  ///< installed/read from serial code only
 
-  std::mutex mu_;  ///< serializes serial emissions + the sink
-  std::uint64_t clock_ = 0;
-  std::size_t depth_ = 0;  ///< run-scope nesting
+  support::Mutex mu_;  ///< serializes serial emissions + the sink
+  std::uint64_t clock_ TMWIA_GUARDED_BY(mu_) = 0;
+  std::size_t depth_ TMWIA_GUARDED_BY(mu_) = 0;  ///< run-scope nesting
+  /// Deliberately NOT guarded by mu_: stages_[p] is owner-write — only
+  /// the thread running player p appends (see the header comment), and
+  /// the serial drains that read it hold mu_ *and* happen at
+  /// parallel_for join points with no staged writers in flight. The
+  /// vector itself is resized only at those serial points.
   std::vector<Stage> stages_;
   std::atomic<std::uint64_t> written_{0};
   std::atomic<std::uint64_t> dropped_total_{0};

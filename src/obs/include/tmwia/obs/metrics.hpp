@@ -30,10 +30,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "tmwia/support/thread_annotations.hpp"
 
 namespace tmwia::obs {
 
@@ -187,15 +188,21 @@ class MetricsRegistry {
 
   void slot_add(std::uint32_t slot, std::uint64_t v) { local_shard().add(slot, v); }
   Shard& local_shard();
-  Shard& attach_thread();
+  Shard& attach_thread() TMWIA_EXCLUDES(mu_);
 
   std::atomic<bool> enabled_;
   std::uint64_t id_;  ///< process-unique; keys the thread-local shard cache
-  mutable std::mutex mu_;  ///< guards names_, shards_, gauges_ structure
-  std::map<std::string, MetricInfo, std::less<>> names_;
-  std::uint32_t next_slot_ = 0;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>, std::less<>> gauges_;
+  /// Guards registry *structure* (name table, shard list, gauge cells).
+  /// Shard slot contents are deliberately NOT guarded: they are
+  /// owner-write atomics (only the owning thread stores; snapshot sums
+  /// them with atomic loads under mu_), the whole point of the
+  /// contention-free hot path above.
+  mutable support::Mutex mu_;
+  std::map<std::string, MetricInfo, std::less<>> names_ TMWIA_GUARDED_BY(mu_);
+  std::uint32_t next_slot_ TMWIA_GUARDED_BY(mu_) = 0;
+  std::vector<std::unique_ptr<Shard>> shards_ TMWIA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>, std::less<>> gauges_
+      TMWIA_GUARDED_BY(mu_);
 };
 
 }  // namespace tmwia::obs

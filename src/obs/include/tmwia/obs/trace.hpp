@@ -19,12 +19,13 @@
 #include <atomic>
 #include <cstdint>
 #include <initializer_list>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <type_traits>
 #include <variant>
+
+#include "tmwia/support/thread_annotations.hpp"
 
 namespace tmwia::obs {
 
@@ -70,11 +71,11 @@ class Tracer {
   void emit(std::string_view kind, std::uint64_t span_id, std::string_view name,
             AttrList attrs);
 
-  std::ostream& out_;
-  bool wall_time_;
-  std::mutex mu_;
-  std::uint64_t clock_ = 0;
-  std::uint64_t next_span_ = 1;
+  std::ostream& out_;     ///< written only under mu_ (references can't be guarded)
+  bool wall_time_;        ///< immutable after construction
+  support::Mutex mu_;     ///< serializes every record: clock tick + stream write
+  std::uint64_t clock_ TMWIA_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_span_ TMWIA_GUARDED_BY(mu_) = 1;
 };
 
 /// RAII span over an optional tracer: a null tracer makes every

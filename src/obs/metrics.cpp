@@ -95,13 +95,13 @@ MetricsRegistry::Shard& MetricsRegistry::local_shard() {
 }
 
 MetricsRegistry::Shard& MetricsRegistry::attach_thread() {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   shards_.push_back(std::make_unique<Shard>());
   return *shards_.back();
 }
 
 MetricsRegistry::Counter MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   auto it = names_.find(name);
   if (it == names_.end()) {
     if (next_slot_ >= kMaxChunks * kChunkSlots) {
@@ -124,7 +124,7 @@ MetricsRegistry::Histogram MetricsRegistry::histogram(std::string_view name,
     throw std::invalid_argument(
         "MetricsRegistry: histogram bounds must be non-empty and strictly increasing");
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   auto it = names_.find(name);
   if (it == names_.end()) {
     const auto slot_count = static_cast<std::uint32_t>(bounds.size() + 2);
@@ -166,7 +166,7 @@ void MetricsRegistry::Histogram::observe(std::uint64_t v) const {
 }
 
 void MetricsRegistry::set_gauge(std::string_view name, std::int64_t value) {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<std::atomic<std::int64_t>>(0))
@@ -176,7 +176,7 @@ void MetricsRegistry::set_gauge(std::string_view name, std::int64_t value) {
 }
 
 void MetricsRegistry::add_gauge(std::string_view name, std::int64_t delta) {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<std::atomic<std::int64_t>>(0))
@@ -186,7 +186,7 @@ void MetricsRegistry::add_gauge(std::string_view name, std::int64_t delta) {
 }
 
 Snapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   Snapshot snap;
   auto slot_total = [&](std::uint32_t slot) {
     std::uint64_t total = 0;
@@ -218,7 +218,7 @@ Snapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   for (const auto& shard : shards_) {
     for (auto& cp : shard->chunks) {
       Chunk* c = cp.load(std::memory_order_acquire);

@@ -52,7 +52,7 @@ Tracer::Tracer(std::ostream& out, bool wall_time) : out_(out), wall_time_(wall_t
 std::uint64_t Tracer::begin_span(std::string_view name, AttrList attrs) {
   std::uint64_t id = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    support::MutexLock lk(mu_);
     id = next_span_++;
   }
   emit("begin", id, name, attrs);
@@ -68,7 +68,7 @@ void Tracer::event(std::string_view name, AttrList attrs) {
 }
 
 void Tracer::flush() {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   out_.flush();
 }
 
@@ -76,7 +76,7 @@ void Tracer::emit(std::string_view kind, std::uint64_t span_id, std::string_view
                   AttrList attrs) {
   std::string line;
   line.reserve(96);
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   line += "{\"t\":";
   line += std::to_string(clock_++);
   line += ",\"kind\":\"";

@@ -44,6 +44,32 @@ literals stripped) for constructs that would let those invariants rot:
   size-empty               `x.size() == 0` instead of `x.empty()` (the
                            readability-container-size-empty mirror, kept
                            here because clang-tidy is optional).
+  naked-mutex              a mutex member (std::mutex/shared_mutex/
+                           support::Mutex) with no sibling
+                           TMWIA_GUARDED_BY annotation in the file. Every
+                           lock must say what it protects, so the Clang
+                           thread-safety build (TMWIA_THREAD_SAFETY) has
+                           something to check; deliberately-unguarded
+                           state carries an explained allow pragma.
+  manual-lock              raw .lock()/.unlock() calls outside the
+                           annotated RAII lockers (support::MutexLock,
+                           lock_guard/unique_lock/scoped_lock). Manual
+                           pairing is invisible to the static analysis
+                           and leaks on exceptions.
+  explicit-atomic-ordering std::atomic load/store/exchange/fetch_*/
+                           compare_exchange without an explicit
+                           std::memory_order argument. Defaulted seq_cst
+                           hides the intended protocol; every ordering in
+                           library code is a documented decision.
+  owner-write              files outside src/obs touching obs:: shard
+                           internals (local_shard/attach_thread/slot_add,
+                           the g_recorder slot). The owner-write/merge-on-
+                           read discipline only holds if writers go
+                           through the Counter/Histogram handles and the
+                           set_recorder/set_tracer registration points.
+  stale-pragma             a tmwia-lint allow/allow-file pragma that no
+                           longer suppresses any finding — the escape-
+                           hatch inventory stays honest.
   header-pragma-once       every header starts its include guard.
   header-test-stale        tests/header_selfcontained_test.cpp no longer
                            matches the set of public headers (regenerate
@@ -61,7 +87,8 @@ nothing is silently exempt.
 
 Usage:
   tools/lint/tmwia_lint.py [--root DIR] [--json PATH] [--compile-checks]
-                           [--write-header-test] [--list-rules] [-q]
+                           [--write-header-test] [--list-rules]
+                           [--self-test] [-q]
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -152,6 +179,7 @@ RULES = [
             r"\bstd\s*::\s*cout\b",
             r"\bstd\s*::\s*cerr\b",
             r"(?<![\w:])printf\s*\(",   # not snprintf/fprintf-matched-below
+            r"\bstd\s*::\s*printf\s*\(",
             r"\bfprintf\s*\(",
             r"(?<![\w:])puts\s*\(",
             r"\bfputs\s*\(",
@@ -205,6 +233,33 @@ RULES = [
         dirs=CODE_DIRS,
         patterns=(r"\.\s*size\s*\(\s*\)\s*[=!]=\s*0\b", r"\b0\s*[=!]=\s*\w+(\(\))?\s*\.\s*size\s*\(\s*\)"),
     ),
+    Rule(
+        id="manual-lock",
+        description="raw .lock()/.unlock() call; use the RAII lockers "
+        "(support::MutexLock, std::scoped_lock) so the thread-safety analysis "
+        "sees the critical section and an exception cannot leak a held lock",
+        dirs=CODE_DIRS,
+        exempt=("src/support",),  # the annotated wrappers themselves
+        patterns=(
+            r"(?:\.|->)\s*lock\s*\(\s*\)",
+            r"(?:\.|->)\s*unlock\s*\(\s*\)",
+        ),
+    ),
+    Rule(
+        id="owner-write",
+        description="obs:: shard internals (local_shard/attach_thread/slot_add, "
+        "the recorder slot word) touched outside src/obs; write metrics through "
+        "Counter/Histogram handles and install sinks via set_recorder/set_tracer",
+        dirs=CODE_DIRS,
+        exempt=("src/obs",),
+        patterns=(
+            r"\blocal_shard\s*\(",
+            r"\battach_thread\s*\(",
+            r"\bslot_add\s*\(",
+            r"\bg_recorder\b",
+            r"\bobs\s*::\s*detail\b",
+        ),
+    ),
 ]
 
 PER_BIT_LOOP = Rule(
@@ -257,8 +312,34 @@ HEADER_SELFCONTAINED = Rule(
     dirs=("src",),
 )
 
-ALL_RULES = RULES + [PER_BIT_LOOP, NONCONST_GLOBAL, HEADER_PRAGMA_ONCE,
-                     HEADER_TEST_STALE, HEADER_SELFCONTAINED]
+NAKED_MUTEX = Rule(
+    id="naked-mutex",
+    description="mutex member with no sibling TMWIA_GUARDED_BY annotation in "
+    "the file; declare what it protects (or carry an explained allow pragma "
+    "for externally-synchronized state)",
+    dirs=("src",),
+    exempt=("src/support",),  # the capability wrappers wrap a raw std::mutex
+)
+
+EXPLICIT_ATOMIC_ORDERING = Rule(
+    id="explicit-atomic-ordering",
+    description="atomic load/store/exchange/fetch_*/compare_exchange with a "
+    "defaulted (seq_cst) ordering in library code; spell the std::memory_order "
+    "so the protocol is a documented decision",
+    dirs=("src",),
+)
+
+STALE_PRAGMA = Rule(
+    id="stale-pragma",
+    description="tmwia-lint allow pragma that no longer suppresses any "
+    "finding; delete it (or keep it deliberately under allow(stale-pragma))",
+    dirs=CODE_DIRS,
+)
+
+ALL_RULES = RULES + [PER_BIT_LOOP, NONCONST_GLOBAL, NAKED_MUTEX,
+                     EXPLICIT_ATOMIC_ORDERING, STALE_PRAGMA,
+                     HEADER_PRAGMA_ONCE, HEADER_TEST_STALE,
+                     HEADER_SELFCONTAINED]
 
 
 def strip_comments_and_strings(src: str) -> str:
@@ -350,21 +431,46 @@ def strip_comments_and_strings(src: str) -> str:
     return "".join(out)
 
 
+@dataclass
+class Pragma:
+    """One (pragma occurrence, rule) pair. `used` flips when the pragma
+    suppresses a finding; pragmas still unused at the end of the file's
+    scan are themselves findings (stale-pragma)."""
+    line: int
+    rule: str
+    kind: str  # "line" | "file"
+    used: bool = False
+
+
 def parse_pragmas(raw_lines):
-    """Return (file_allows: set, line_allows: {lineno: set}). A line
-    pragma covers its own line and the following line."""
-    file_allows = set()
+    """Return (file_allows: {rule: Pragma}, line_allows: {lineno: {rule:
+    Pragma}}, pragmas: [Pragma]). A line pragma covers its own line and
+    the following line (both map to the same record, so either hit marks
+    it used)."""
+    file_allows = {}
     line_allows = {}
+    pragmas = []
     for idx, line in enumerate(raw_lines, start=1):
         m = PRAGMA_FILE.search(line)
         if m:
-            file_allows.update(r.strip() for r in m.group(1).split(",") if r.strip())
+            for rule in (r.strip() for r in m.group(1).split(",")):
+                if not rule:
+                    continue
+                p = Pragma(idx, rule, "file")
+                pragmas.append(p)
+                # A duplicate file pragma for the same rule can never be
+                # the suppressor, so it ends the scan unused — and stale.
+                file_allows.setdefault(rule, p)
         m = PRAGMA_LINE.search(line)
         if m:
-            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
-            line_allows.setdefault(idx, set()).update(rules)
-            line_allows.setdefault(idx + 1, set()).update(rules)
-    return file_allows, line_allows
+            for rule in (r.strip() for r in m.group(1).split(",")):
+                if not rule:
+                    continue
+                p = Pragma(idx, rule, "line")
+                pragmas.append(p)
+                line_allows.setdefault(idx, {}).setdefault(rule, p)
+                line_allows.setdefault(idx + 1, {}).setdefault(rule, p)
+    return file_allows, line_allows, pragmas
 
 
 # A bit read with an index argument. The argument requirement keeps
@@ -480,6 +586,114 @@ def scan_nonconst_globals(stripped: str, relpath: str):
         stmt_chars.append(c)
         i += 1
     return [Finding(NONCONST_GLOBAL.id, relpath, ln, text[:160]) for ln, text in findings]
+
+
+# A mutex-typed member declaration, after whitespace/`::` normalization.
+# Bare `Mutex` covers the in-namespace `using support::Mutex;` idiom.
+_MUTEX_DECL = re.compile(
+    r"^(?:mutable\s+)?"
+    r"(?:std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex)"
+    r"|(?:tmwia::)?(?:support::)?Mutex)"
+    r"\s+([A-Za-z_]\w*)$"
+)
+
+
+def scan_naked_mutexes(stripped: str, raw: str, raw_lines, relpath: str):
+    """Mutex members whose protected state is undeclared: no
+    TMWIA_GUARDED_BY / TMWIA_PT_GUARDED_BY in the file names the member.
+    Same brace walk as scan_nonconst_globals, but looking at declaration
+    statements whose innermost scope is a type."""
+    findings = []
+    stack = []  # entries: "ns" | "type" | "other"
+    stmt_chars = []
+    stmt_line = 1
+    stmt_started = False
+    line = 1
+    i, n = 0, len(stripped)
+    while i < n:
+        c = stripped[i]
+        if c == "\n":
+            line += 1
+            stmt_chars.append(" ")
+            i += 1
+            continue
+        if c == "{":
+            head = "".join(stmt_chars).strip()
+            if re.search(r"\bnamespace\b", head):
+                stack.append("ns")
+            elif re.search(r"\b(class|struct|union)\b", head) and "(" not in head:
+                stack.append("type")
+            else:
+                stack.append("other")
+            stmt_chars = []
+            stmt_started = False
+            i += 1
+            continue
+        if c == "}":
+            if stack:
+                stack.pop()
+            stmt_chars = []
+            stmt_started = False
+            i += 1
+            continue
+        if c == ";":
+            if stack and stack[-1] == "type":
+                stmt = re.sub(r"\s*::\s*", "::",
+                              re.sub(r"\s+", " ", "".join(stmt_chars)).strip())
+                m = _MUTEX_DECL.match(stmt)
+                if m and not re.search(
+                        r"TMWIA_(?:PT_)?GUARDED_BY\(\s*" + re.escape(m.group(1)) + r"\s*\)",
+                        raw):
+                    findings.append(Finding(NAKED_MUTEX.id, relpath, stmt_line,
+                                            raw_lines[stmt_line - 1].strip()[:160]))
+            stmt_chars = []
+            stmt_started = False
+            i += 1
+            continue
+        if not stmt_started and not c.isspace():
+            stmt_line = line
+            stmt_started = True
+        stmt_chars.append(c)
+        i += 1
+    return findings
+
+
+_ATOMIC_OP = re.compile(
+    r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|"
+    r"compare_exchange_strong|compare_exchange_weak)\s*\("
+)
+
+
+def scan_atomic_orderings(stripped_lines, raw_lines, relpath):
+    """Atomic operations must spell their std::memory_order. The argument
+    span runs from the call's open paren until its parens balance, joined
+    across up to four lines (enough for clang-format-wrapped calls); a
+    span with no memory_order token is a finding. One finding per line."""
+    findings = []
+    n = len(stripped_lines)
+    for idx, line in enumerate(stripped_lines):
+        for m in _ATOMIC_OP.finditer(line):
+            depth = 1
+            arg_chars = []
+            col = m.end()
+            for j in range(idx, min(idx + 4, n)):
+                seg = stripped_lines[j][col:] if j == idx else stripped_lines[j]
+                col = 0
+                for ch in seg:
+                    if ch == "(":
+                        depth += 1
+                    elif ch == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    arg_chars.append(ch)
+                if depth == 0:
+                    break
+            if "memory_order" not in "".join(arg_chars):
+                findings.append(Finding(EXPLICIT_ATOMIC_ORDERING.id, relpath, idx + 1,
+                                        raw_lines[idx].strip()[:160]))
+                break
+    return findings
 
 
 def public_headers(root: str):
@@ -603,12 +817,14 @@ def lint(root: str, compile_checks: bool, quiet: bool):
         with open(os.path.join(root, relpath), encoding="utf-8") as f:
             raw = f.read()
         raw_lines = raw.splitlines()
-        file_allows, line_allows = parse_pragmas(raw_lines)
+        file_allows, line_allows, pragmas = parse_pragmas(raw_lines)
         stripped = strip_comments_and_strings(raw)
         stripped_lines = stripped.splitlines()
 
         def emit(f: Finding):
-            if f.rule in file_allows or f.rule in line_allows.get(f.line, set()):
+            pragma = file_allows.get(f.rule) or line_allows.get(f.line, {}).get(f.rule)
+            if pragma is not None:
+                pragma.used = True
                 f.allowed = True
                 allowed.append(f)
             else:
@@ -639,8 +855,27 @@ def lint(root: str, compile_checks: bool, quiet: bool):
             for f in scan_nonconst_globals(stripped, relpath):
                 emit(f)
 
+        if NAKED_MUTEX.in_scope(relpath):
+            for f in scan_naked_mutexes(stripped, raw, raw_lines, relpath):
+                emit(f)
+
+        if EXPLICIT_ATOMIC_ORDERING.in_scope(relpath):
+            for f in scan_atomic_orderings(stripped_lines, raw_lines, relpath):
+                emit(f)
+
         if relpath.endswith((".hpp", ".hh", ".h")) and "#pragma once" not in raw:
             emit(Finding(HEADER_PRAGMA_ONCE.id, relpath, 1, "missing #pragma once"))
+
+        # Last, after every rule has had its chance to consume a pragma:
+        # a suppression that suppressed nothing is itself a finding. It
+        # goes through emit() too, so a deliberate keeper can carry
+        # allow(stale-pragma); unused allow(stale-pragma) pragmas are not
+        # re-reported (no self-referential fixpoint).
+        for pragma in pragmas:
+            if pragma.rule != STALE_PRAGMA.id and not pragma.used:
+                emit(Finding(STALE_PRAGMA.id, relpath, pragma.line,
+                             f"allow{'-file' if pragma.kind == 'file' else ''}"
+                             f"({pragma.rule}) suppresses nothing"))
 
     for f in check_header_test(root):
         findings.append(f)
@@ -653,6 +888,127 @@ def lint(root: str, compile_checks: bool, quiet: bool):
     return findings, allowed, files_scanned, headers_checked
 
 
+# Fixture tree for --self-test: every new-generation rule has a firing,
+# a clean, and a suppressed variant. The files are never compiled — they
+# only need to look right to the scanners.
+SELF_TEST_FIXTURES = {
+    "src/fix/naked_fire.hpp": (
+        "#pragma once\n"
+        "#include <mutex>\n"
+        "struct NakedFire {\n"
+        "  std::mutex mu_;\n"
+        "  int x = 0;\n"
+        "};\n"
+    ),
+    "src/fix/naked_ok.hpp": (
+        "#pragma once\n"
+        '#include "tmwia/support/thread_annotations.hpp"\n'
+        "struct NakedOk {\n"
+        "  tmwia::support::Mutex mu_;\n"
+        "  int x TMWIA_GUARDED_BY(mu_) = 0;\n"
+        "};\n"
+    ),
+    "src/fix/naked_allowed.hpp": (
+        "#pragma once\n"
+        "#include <mutex>\n"
+        "struct NakedAllowed {\n"
+        "  // tmwia-lint: allow(naked-mutex) fixture: externally synchronized\n"
+        "  std::mutex mu_;\n"
+        "};\n"
+    ),
+    "src/fix/manual_lock.cpp": (
+        "#include <mutex>\n"
+        "void fixture_manual_lock(std::mutex& m) {\n"
+        "  m.lock();\n"
+        "  m.unlock();\n"
+        "  // tmwia-lint: allow(manual-lock) fixture: sanctioned call\n"
+        "  m.lock();\n"
+        "}\n"
+    ),
+    "src/fix/atomic.cpp": (
+        "#include <atomic>\n"
+        "void fixture_atomics(std::atomic<int>& x) {\n"
+        "  x.load();\n"
+        "  x.store(1);\n"
+        "  x.fetch_add(2);\n"
+        "  (void)x.load(std::memory_order_acquire);\n"
+        "  x.store(3,\n"
+        "          std::memory_order_release);\n"
+        "}\n"
+    ),
+    "src/fix/owner_write.cpp": (
+        "void fixture_owner_write() {\n"
+        "  obs_registry()\n"
+        "      .attach_thread();\n"
+        "}\n"
+    ),
+    "src/obs/owner_ok.cpp": (
+        "void fixture_owner_ok() {\n"
+        "  local_shard().slot_add(0, 1);\n"
+        "}\n"
+    ),
+    "src/fix/stale.cpp": (
+        "// tmwia-lint: allow-file(unseeded-rng) fixture: nothing random here\n"
+        "void fixture_stale() {}\n"
+    ),
+    "src/fix/stale_allowed.cpp": (
+        "// tmwia-lint: allow(stale-pragma) fixture: historical marker\n"
+        "// tmwia-lint: allow(manual-lock) fixture: nothing locks\n"
+        "void fixture_stale_allowed() {}\n"
+    ),
+}
+
+SELF_TEST_FINDINGS = {
+    ("naked-mutex", "src/fix/naked_fire.hpp", 4),
+    ("manual-lock", "src/fix/manual_lock.cpp", 3),
+    ("manual-lock", "src/fix/manual_lock.cpp", 4),
+    ("explicit-atomic-ordering", "src/fix/atomic.cpp", 3),
+    ("explicit-atomic-ordering", "src/fix/atomic.cpp", 4),
+    ("explicit-atomic-ordering", "src/fix/atomic.cpp", 5),
+    ("owner-write", "src/fix/owner_write.cpp", 3),
+    ("stale-pragma", "src/fix/stale.cpp", 1),
+    # The fixture tree has public headers = none, so the generated header
+    # test is reported missing — expected, not part of the rules under test.
+    ("header-test-stale", HEADER_TEST_PATH, 1),
+}
+
+SELF_TEST_ALLOWED = {
+    ("naked-mutex", "src/fix/naked_allowed.hpp", 5),
+    ("manual-lock", "src/fix/manual_lock.cpp", 6),
+    ("stale-pragma", "src/fix/stale_allowed.cpp", 2),
+}
+
+
+def self_test() -> int:
+    """Exercise the concurrency/pragma rules against the built-in
+    fixtures; exact-set comparison so a rule that over- or under-fires
+    both fail."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="tmwia-lint-selftest-") as td:
+        for rel, content in SELF_TEST_FIXTURES.items():
+            path = os.path.join(td, rel.replace("/", os.sep))
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+        findings, allowed, _files, _headers = lint(td, compile_checks=False, quiet=True)
+
+    ok = True
+    for label, got, want in (
+        ("finding", {(f.rule, f.file, f.line) for f in findings}, SELF_TEST_FINDINGS),
+        ("allowance", {(f.rule, f.file, f.line) for f in allowed}, SELF_TEST_ALLOWED),
+    ):
+        for item in sorted(want - got):
+            ok = False
+            print(f"self-test: missing {label}: {item}", file=sys.stderr)
+        for item in sorted(got - want):
+            ok = False
+            print(f"self-test: unexpected {label}: {item}", file=sys.stderr)
+    print(f"tmwia-lint --self-test: {len(SELF_TEST_FIXTURES)} fixtures, "
+          f"{'PASS' if ok else 'FAIL'}", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def main(argv):
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -663,8 +1019,13 @@ def main(argv):
     ap.add_argument("--write-header-test", action="store_true",
                     help=f"regenerate {HEADER_TEST_PATH} and exit")
     ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the lint rules against built-in fixtures and exit")
     ap.add_argument("-q", "--quiet", action="store_true")
     args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
 
     root = args.root or os.path.dirname(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))))

@@ -25,6 +25,14 @@
 #              require byte-identical flight-recorder logs, estimate
 #              files, and RunReports (modulo the reports' "kernel"
 #              provenance field, which names the backend by design)
+#   thread-safety opt-in: the static concurrency gate — tmwia_lint.py
+#              --self-test, then the full lint with a jq check that the
+#              concurrency rules (naked-mutex, manual-lock,
+#              explicit-atomic-ordering, owner-write, stale-pragma) are
+#              present in build/LINT_REPORT.json with zero unexplained
+#              findings, then (when a clang++ exists) a full build with
+#              -DTMWIA_THREAD_SAFETY=ON so Clang's -Werror=thread-safety
+#              checks every capability annotation   (build-tsa/)
 #   kill-resume opt-in: durability drill — checkpoint an e8-scale
 #              unknown_d run, SIGKILL it mid-phase via the kill-at-round
 #              fault, resume from the snapshot, and require the
@@ -36,7 +44,7 @@
 #   tools/run_tests.sh [--plain-only|--sanitize-only|--tsan-only]
 #                      [--lint-only] [--audit] [--bench-json]
 #                      [--bench-history] [--kernel-parity]
-#                      [--kill-resume] [-j N]
+#                      [--thread-safety] [--kill-resume] [-j N]
 #
 # Default runs lint + plain + asan + tsan; all requested stages must pass.
 set -euo pipefail
@@ -51,6 +59,7 @@ RUN_AUDIT=0
 RUN_BENCH_JSON=0
 RUN_BENCH_HISTORY=0
 RUN_KERNEL_PARITY=0
+RUN_THREAD_SAFETY=0
 RUN_KILL_RESUME=0
 
 while [[ $# -gt 0 ]]; do
@@ -63,6 +72,7 @@ while [[ $# -gt 0 ]]; do
     --bench-json) RUN_BENCH_JSON=1 ;;
     --bench-history) RUN_BENCH_HISTORY=1 ;;
     --kernel-parity) RUN_KERNEL_PARITY=1 ;;
+    --thread-safety) RUN_THREAD_SAFETY=1 ;;
     --kill-resume) RUN_KILL_RESUME=1 ;;
     -j) JOBS="$2"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
@@ -113,10 +123,10 @@ if [[ $RUN_TSAN -eq 1 ]]; then
   echo "== TSan (obs + engine + scheduler) =="
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DTMWIA_TSAN=ON
   cmake --build "$ROOT/build-tsan" -j "$JOBS" \
-    --target test_obs test_engine test_round_scheduler
+    --target test_obs test_engine test_round_scheduler test_thread_safety
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
-    -R '(Metrics|Trace|Obs|Engine|ThreadPool|Parallel|RoundScheduler|Scheduler)'
+    -R '(Metrics|Trace|Obs|Engine|ThreadPool|Parallel|RoundScheduler|Scheduler|ThreadSafety)'
 fi
 
 if [[ $RUN_AUDIT -eq 1 ]]; then
@@ -217,6 +227,29 @@ if [[ $RUN_KERNEL_PARITY -eq 1 ]]; then
     echo "-- $k: flight log, estimates, and report match $ref"
   done
   rm -rf "$PAR_DIR"
+fi
+
+if [[ $RUN_THREAD_SAFETY -eq 1 ]]; then
+  echo "== thread safety (lint rules + annotation build) =="
+  command -v jq >/dev/null || { echo "jq required for --thread-safety" >&2; exit 2; }
+  python3 "$ROOT/tools/lint/tmwia_lint.py" --self-test
+  mkdir -p "$ROOT/build"
+  python3 "$ROOT/tools/lint/tmwia_lint.py" --root "$ROOT" -q \
+    --json "$ROOT/build/LINT_REPORT.json"
+  for rule in naked-mutex manual-lock explicit-atomic-ordering owner-write stale-pragma; do
+    jq -e --arg r "$rule" '.rules[$r] and (.rules[$r].findings | length == 0)' \
+      "$ROOT/build/LINT_REPORT.json" >/dev/null \
+      || { echo "thread-safety: rule '$rule' missing from LINT_REPORT.json or has unexplained findings" >&2; exit 1; }
+    echo "-- $rule: present, 0 unexplained findings"
+  done
+  if command -v clang++ >/dev/null; then
+    echo "-- clang++ -Wthread-safety -Werror=thread-safety build"
+    cmake -B "$ROOT/build-tsa" -S "$ROOT" \
+      -DCMAKE_CXX_COMPILER=clang++ -DTMWIA_THREAD_SAFETY=ON
+    cmake --build "$ROOT/build-tsa" -j "$JOBS"
+  else
+    echo "-- clang++ not found; annotation compile check skipped (lint rules still enforced)"
+  fi
 fi
 
 if [[ $RUN_KILL_RESUME -eq 1 ]]; then
