@@ -397,6 +397,23 @@ RunReport resume_unknown_d(billboard::ProbeOracle& oracle, billboard::Billboard*
                         rng::Rng::from_state(ckpt.rng_state), &policy, &ckpt);
 }
 
+void keep_better_outputs(billboard::ProbeOracle& oracle,
+                         std::vector<bits::BitVector>& current,
+                         std::vector<bits::BitVector>& challenger, std::uint64_t phase,
+                         const Params& params, const rng::Rng& rng) {
+  auto* injector = oracle.fault_injector();
+  engine::parallel_for(0, current.size(), [&](std::size_t i) {
+    const PlayerId p = static_cast<PlayerId>(i);
+    if (injector != nullptr && injector->is_failed(p)) return;
+    std::vector<bits::BitVector> candidates{current[i], challenger[i]};
+    rng::Rng prng = rng.split(0xbe57, phase, p);
+    const auto sel = rselect_closest(
+        candidates, current.size(),
+        [&](std::uint32_t j) { return oracle.probe_resilient(p, j); }, prng, params);
+    if (sel.index == 1) current[i] = std::move(challenger[i]);
+  });
+}
+
 RunReport anytime(billboard::ProbeOracle& oracle, billboard::Billboard* board,
                   std::uint64_t round_budget, const Params& params, rng::Rng rng) {
   const auto players = all_players(oracle);
@@ -425,17 +442,7 @@ RunReport anytime(billboard::ProbeOracle& oracle, billboard::Billboard* board,
     } else {
       // Keep the better of old/new per player (RSelect with 2
       // candidates). Degraded players keep their previous output.
-      auto* injector = oracle.fault_injector();
-      engine::parallel_for(0, players.size(), [&](std::size_t i) {
-        const PlayerId p = players[i];
-        if (injector != nullptr && injector->is_failed(p)) return;
-        std::vector<bits::BitVector> candidates{res.outputs[i], run.outputs[i]};
-        rng::Rng prng = rng.split(0xbe57, phase, p);
-        const auto sel = rselect_closest(
-            candidates, players.size(),
-            [&](std::uint32_t j) { return oracle.probe_resilient(p, objects[j]); }, prng, params);
-        if (sel.index == 1) res.outputs[i] = std::move(run.outputs[i]);
-      });
+      keep_better_outputs(oracle, res.outputs, run.outputs, phase, params, rng);
     }
 
     res.phases.push_back(AnytimePhase{alpha, oracle.rounds_since(before),

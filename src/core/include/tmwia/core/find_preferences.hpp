@@ -137,6 +137,20 @@ void rescue_orphans(billboard::ProbeOracle& oracle, std::vector<bits::BitVector>
                     const std::vector<PlayerId>& players, const Params& params,
                     const rng::Rng& rng);
 
+/// The anytime keep-better merge (Section 6), exposed for incremental
+/// refinement loops (the serve layer re-runs the unknown-D tower per
+/// epoch and folds each result in through this): every live player runs
+/// a 2-candidate RSelect between its current output and the challenger
+/// and keeps the winner; players failed on the oracle's injector keep
+/// their current output. Probes are charged through the oracle as
+/// usual. `phase` tags the per-player RNG splits, so distinct phases
+/// (or epochs) draw independent sample coordinates; `challenger[i]` may
+/// be moved from.
+void keep_better_outputs(billboard::ProbeOracle& oracle,
+                         std::vector<bits::BitVector>& current,
+                         std::vector<bits::BitVector>& challenger, std::uint64_t phase,
+                         const Params& params, const rng::Rng& rng);
+
 /// Section 6: unknown alpha and D. Runs phases alpha = 1/2, 1/4, ...
 /// until the per-player round budget is exhausted; after each phase,
 /// each player keeps the better of (previous output, new output) via

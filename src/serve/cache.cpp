@@ -1,0 +1,89 @@
+#include "tmwia/serve/cache.hpp"
+
+#include <algorithm>
+
+namespace tmwia::serve {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+void mix_bits(std::uint64_t& h, const bits::BitVector& v) {
+  mix(h, v.size());
+  for (const auto w : v.words()) mix(h, w);
+}
+
+}  // namespace
+
+std::uint64_t CacheVersion::compute_hash() const {
+  std::uint64_t h = kFnvOffset;
+  mix(h, epoch);
+  mix(h, estimates.size());
+  for (const auto& e : estimates) mix_bits(h, e);
+  mix(h, candidates.size());
+  for (const auto& c : candidates) {
+    mix_bits(h, c.known_plane());
+    mix_bits(h, c.value_plane());
+  }
+  mix(h, toplists.size());
+  for (const auto& t : toplists) {
+    mix(h, t.size());
+    for (const auto o : t) mix(h, o);
+  }
+  return h;
+}
+
+std::shared_ptr<const CacheVersion> build_cache_version(
+    std::uint64_t epoch, std::vector<bits::BitVector> estimates,
+    const std::vector<bits::BitVector>& probed, std::vector<bits::TriVector> candidates,
+    std::size_t toplist_cap) {
+  auto v = std::make_shared<CacheVersion>();
+  v->epoch = epoch;
+  v->estimates = std::move(estimates);
+  v->candidates = std::move(candidates);
+  v->toplists.resize(v->estimates.size());
+
+  // Candidate support per object: how many candidates carry a known 1
+  // there. Computed once per version, shared by every player's ranking.
+  std::vector<std::uint32_t> support;
+  if (!v->estimates.empty()) support.assign(v->estimates[0].size(), 0);
+  for (const auto& c : v->candidates) {
+    const auto ones = (c.value_plane() & c.known_plane()).one_positions();
+    for (const auto o : ones) ++support[o];
+  }
+
+  for (std::size_t p = 0; p < v->estimates.size(); ++p) {
+    // Predicted-liked and never probed: estimate & ~probed, as a mask.
+    bits::BitVector unseen = v->estimates[p];
+    if (p < probed.size()) {
+      bits::BitVector seen = probed[p];
+      for (std::size_t w = 0; w < seen.words().size(); ++w) {
+        unseen.set_word(w, unseen.words()[w] & ~seen.words()[w]);
+      }
+    }
+    auto picks = unseen.one_positions();
+    if (picks.empty()) {
+      // Everything predicted-liked has been probed already (a fully
+      // refined small instance); fall back to all predicted-liked so a
+      // converged tenant still answers with its best-supported objects.
+      picks = v->estimates[p].one_positions();
+    }
+    std::stable_sort(picks.begin(), picks.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return support[a] > support[b];  // stable sort keeps id order within a tie
+    });
+    if (picks.size() > toplist_cap) picks.resize(toplist_cap);
+    v->toplists[p].assign(picks.begin(), picks.end());
+  }
+
+  v->content_hash = v->compute_hash();
+  return v;
+}
+
+}  // namespace tmwia::serve

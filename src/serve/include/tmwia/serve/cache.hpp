@@ -1,0 +1,91 @@
+// serve::CacheVersion / serve::AnswerCache — the read side of the
+// recommendation service.
+//
+// A CacheVersion is an immutable snapshot of everything the request
+// path needs to answer recommend/estimate for one tenant: the
+// per-player w(p) estimates, the Coalesce candidate set the last
+// refinement epoch produced, and precomputed per-player recommendation
+// toplists (unprobed objects the estimate predicts liked, ranked by
+// candidate support). Refinement builds the next version off to the
+// side and publishes it by swapping one shared_ptr under a mutex held
+// only for that swap; a reader copies the head pointer and then works
+// exclusively off that immutable object — the owner-write/
+// merge-on-read discipline of src/obs applied to the answer path, so a
+// read can never observe a half-swapped cache and never contends with
+// refinement for more than a pointer copy.
+//
+// Every version carries an FNV-1a content hash over (epoch, estimates,
+// candidates, toplists). The service records hash-per-epoch at publish
+// time; tests and the e17 load harness re-check each response's
+// (epoch, hash) pair against that ledger, so a torn or mixed-version
+// answer would be caught by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tmwia/bits/bitvector.hpp"
+#include "tmwia/bits/trivector.hpp"
+#include "tmwia/matrix/ids.hpp"
+#include "tmwia/support/thread_annotations.hpp"
+
+namespace tmwia::serve {
+
+struct CacheVersion {
+  std::uint64_t epoch = 0;  ///< refinement epochs folded into this view
+  /// w(p) estimate per player (coordinates in object order).
+  std::vector<bits::BitVector> estimates;
+  /// Coalesce candidate set of the producing epoch (community centers
+  /// over {0,1,?}; empty before the first epoch).
+  std::vector<bits::TriVector> candidates;
+  /// Ranked recommendations per player: unprobed predicted-liked
+  /// objects, best first.
+  std::vector<std::vector<matrix::ObjectId>> toplists;
+  std::uint64_t content_hash = 0;
+
+  /// FNV-1a over every field except content_hash itself.
+  [[nodiscard]] std::uint64_t compute_hash() const;
+};
+
+/// Assemble (and hash) a version. Toplists rank each player's objects o
+/// with estimate bit 1 and probed bit 0 — things the player is
+/// predicted to like but has never tried — by how many candidates
+/// support o (known-1 entries), object id as the deterministic
+/// tie-break, truncated to `toplist_cap` entries.
+std::shared_ptr<const CacheVersion> build_cache_version(
+    std::uint64_t epoch, std::vector<bits::BitVector> estimates,
+    const std::vector<bits::BitVector>& probed, std::vector<bits::TriVector> candidates,
+    std::size_t toplist_cap);
+
+/// The one-writer/many-reader published-version cell. publish() is the
+/// refiner's epoch boundary; current() is the whole synchronization
+/// story of the request path.
+///
+/// The head is a mutex-guarded shared_ptr rather than
+/// std::atomic<std::shared_ptr>: libstdc++ 12's _Sp_atomic releases its
+/// embedded lock bit in load() with a relaxed fetch_sub, so a reader's
+/// critical section has no release edge to the next writer's lock and
+/// TSan (correctly, per the formal model) reports the plain _M_ptr
+/// accesses as a race. The guarded swap has identical semantics and the
+/// lock is held only for a pointer copy.
+class AnswerCache {
+ public:
+  void publish(std::shared_ptr<const CacheVersion> v) {
+    support::MutexLock lock(mu_);
+    head_ = std::move(v);
+  }
+
+  /// The latest published version (never null once the tenant exists —
+  /// tenants publish an empty epoch-0 version at construction).
+  [[nodiscard]] std::shared_ptr<const CacheVersion> current() const {
+    support::MutexLock lock(mu_);
+    return head_;
+  }
+
+ private:
+  mutable support::Mutex mu_;
+  std::shared_ptr<const CacheVersion> head_ TMWIA_GUARDED_BY(mu_);
+};
+
+}  // namespace tmwia::serve

@@ -1,0 +1,134 @@
+// serve::RecommendationService — long-lived multi-tenant front end over
+// the algorithm tower.
+//
+// The service owns one Tenant per name and splits the work across two
+// thread roles:
+//
+//  * Request threads answer recommend/estimate/stats synchronously from
+//    each tenant's published AnswerCache: one acquire load of the
+//    current version, then everything — items, epoch, content hash,
+//    staleness — comes from that immutable object. A response can
+//    therefore never mix two versions, which the per-epoch hash ledger
+//    (published_hash) lets tests and the e17 harness verify response by
+//    response.
+//  * One refiner runs epochs. refine() and the background refiner
+//    thread are serialized on a single service-wide mutex — epochs swap
+//    the process-global flight-recorder slot and drive engine
+//    parallel_for, so exactly one epoch may be in flight per process.
+//    The background refiner is a dedicated std::thread (never a pool
+//    task: pool tasks must not submit nested parallel_for) that
+//    round-robins one epoch per tenant until stopped or every tenant
+//    reaches its epoch cap.
+//
+// Request metrics land in the global MetricsRegistry under "serve.*"
+// (request-latency and staleness histograms, request/degraded
+// counters), plus per-tenant namespaced "serve.<name>.*" series.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tmwia/obs/metrics.hpp"
+#include "tmwia/serve/protocol.hpp"
+#include "tmwia/serve/tenant.hpp"
+#include "tmwia/support/thread_annotations.hpp"
+
+namespace tmwia::serve {
+
+class RecommendationService {
+ public:
+  RecommendationService();
+  ~RecommendationService();  ///< stops the background refiner
+
+  RecommendationService(const RecommendationService&) = delete;
+  RecommendationService& operator=(const RecommendationService&) = delete;
+
+  // ---- tenant management -------------------------------------------
+
+  /// Register a tenant (throws std::invalid_argument on a duplicate
+  /// name) and record its epoch-0 hash in the publish ledger.
+  Tenant& add_tenant(TenantConfig cfg, matrix::Instance inst);
+  [[nodiscard]] std::vector<std::string> tenant_names() const;
+  /// nullptr when unknown. Tenants are never removed, so the pointer
+  /// stays valid for the service's lifetime.
+  [[nodiscard]] Tenant* tenant(const std::string& name);
+
+  // ---- request path (any thread) -----------------------------------
+
+  Response recommend(const std::string& tenant, std::uint32_t player, std::size_t k);
+  Response estimate(const std::string& tenant, std::uint32_t player);
+  Response stats(const std::string& tenant);
+
+  /// Parse-free JSONL entry point: dispatch one request, never throws —
+  /// failures come back as ok=false responses.
+  Response handle(const Request& req);
+
+  // ---- refinement (serialized service-wide) ------------------------
+
+  /// Run one epoch for `tenant` and return the version now serving
+  /// (the previous one if the epoch degraded). Throws
+  /// std::invalid_argument for an unknown tenant.
+  std::shared_ptr<const CacheVersion> refine(const std::string& tenant);
+
+  /// Start the background refiner: round-robin one epoch per tenant
+  /// until stop_refiner() or — with max_epochs_per_tenant != 0 — every
+  /// tenant has started that many epochs. Throws std::logic_error if
+  /// already running.
+  void start_refiner(std::uint64_t max_epochs_per_tenant);
+  /// Signal and join the refiner (no-op when not running).
+  void stop_refiner();
+  [[nodiscard]] bool refiner_running() const { return refiner_.joinable(); }
+
+  // ---- verification surface ----------------------------------------
+
+  /// The content hash recorded when `epoch` was published for `tenant`
+  /// (0 when that epoch never published). Tests and bench/e17 check
+  /// every response's (epoch, hash) pair against this ledger — a torn
+  /// or mixed-version read could not match.
+  [[nodiscard]] std::uint64_t published_hash(const std::string& tenant,
+                                             std::uint64_t epoch) const;
+
+  /// Any tenant currently serving degraded (stale-marked) answers?
+  [[nodiscard]] bool any_degraded() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Tenant> tenant;
+    obs::MetricsRegistry::Counter requests;
+    obs::MetricsRegistry::Histogram request_us;
+    /// hashes[e] = content hash published for epoch e (mutated under
+    /// the service mutex; 0 = never published).
+    std::vector<std::uint64_t> hashes;
+  };
+
+  Entry* find(const std::string& name) TMWIA_EXCLUDES(mu_);
+  void record_publish(Entry& entry, const CacheVersion& version) TMWIA_EXCLUDES(mu_);
+  void observe(Entry& entry, const Response& r);
+  std::shared_ptr<const CacheVersion> refine_entry(Entry& entry) TMWIA_EXCLUDES(refine_mu_);
+  Response add_tenant_request(const Request& req);
+  void refiner_loop(std::uint64_t max_epochs);
+
+  /// Guards the tenant table and every Entry::hashes ledger.
+  mutable support::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Entry>> tenants_ TMWIA_GUARDED_BY(mu_);
+
+  /// Serializes every refinement epoch across tenants (global recorder
+  /// slot + nested-parallel_for prohibition).
+  support::Mutex refine_mu_;
+  std::uint64_t epochs_run_ TMWIA_GUARDED_BY(refine_mu_) = 0;
+
+  obs::MetricsRegistry::Counter requests_;
+  obs::MetricsRegistry::Counter degraded_responses_;
+  obs::MetricsRegistry::Histogram request_us_;
+  obs::MetricsRegistry::Histogram staleness_;
+
+  std::thread refiner_;
+  std::atomic<bool> stop_refiner_{false};
+};
+
+}  // namespace tmwia::serve

@@ -14,12 +14,19 @@ This tool closes the loop those files were designed for:
              - a bench whose verdict flips ok:true -> ok:false,
              - a watched metric worse than the best prior value by more
                than its budget (--max-regress METRIC=PCT; defaults
-               rounds=10, total_probes=10, wall_ms=75).
+               rounds=10, total_probes=10, wall_ms=75, p99_us=75).
+           A bench name with no baseline entry yet (a freshly added
+           experiment, e.g. e17_serve landing on an established
+           history) is a warning, not a failure: this run establishes
+           its baseline.
 
 Cost metrics (rounds, total_probes) are deterministic for a fixed seed,
-so their budgets are tight; wall_ms is hardware noise, so its budget is
-loose.  The first ingest of a bench has no prior and is trivially green
-— but the history is then non-empty, so the next run has a baseline.
+so their budgets are tight; wall_ms and the serving-layer latency
+percentiles (p50_us/p95_us/p99_us, reported by e17_serve from the
+MetricsRegistry histograms) are hardware noise, so p99_us gets a loose
+budget and the lower percentiles are recorded but unwatched.  The first
+ingest of a bench has no prior and is trivially green — but the history
+is then non-empty, so the next run has a baseline.
 
 Exit status: 0 green, 1 regression (--check), 2 usage/environment error.
 """
@@ -32,7 +39,7 @@ import os
 import sys
 from pathlib import Path
 
-DEFAULT_BUDGETS = {"rounds": 10.0, "total_probes": 10.0, "wall_ms": 75.0}
+DEFAULT_BUDGETS = {"rounds": 10.0, "total_probes": 10.0, "wall_ms": 75.0, "p99_us": 75.0}
 
 
 def parse_budgets(specs: list[str]) -> dict[str, float]:
@@ -99,13 +106,18 @@ def metric_value(row: dict, metric: str) -> float | None:
 
 def check_run(
     current: list[dict], prior: list[dict], budgets: dict[str, float]
-) -> list[str]:
+) -> tuple[list[str], list[str]]:
+    """Return (regressions, warnings) for `current` vs the prior runs."""
     regressions = []
+    warnings = []
     for row in current:
         bench = row["bench"]
         history = [p for p in prior if p.get("bench") == bench]
         if not history:
-            continue  # first ingest: baseline established, trivially green
+            # A new experiment landing on an established history: its
+            # baseline starts now. Tolerated loudly, never fatal.
+            warnings.append(f"{bench}: no baseline entry yet (this run establishes it)")
+            continue
         if not row["ok"] and any(p.get("ok") for p in history):
             regressions.append(f"{bench}: verdict regressed to FAIL")
         for metric, pct in sorted(budgets.items()):
@@ -126,7 +138,7 @@ def check_run(
                     f"{bench}: {metric} {cur:g} vs best {best:g} "
                     f"(budget +{pct:g}%)"
                 )
-    return regressions
+    return regressions, warnings
 
 
 def main(argv: list[str]) -> int:
@@ -189,8 +201,15 @@ def main(argv: list[str]) -> int:
         print(f"run {run}: ingested {len(current)} bench report(s) "
               f"into {history_path} ({len(prior)} prior entries)")
         for row in current:
-            print(f"  {'ok ' if row['ok'] else 'FAIL'} {row['bench']:<18} "
-                  f"wall {row['wall_ms']:g} ms")
+            line = (f"  {'ok ' if row['ok'] else 'FAIL'} {row['bench']:<18} "
+                    f"wall {row['wall_ms']:g} ms")
+            # Serving-layer benches report request-latency percentiles;
+            # surface them next to wall time rather than burying them.
+            pcts = [f"{k[:-3]}={row['metrics'][k]:g}us"
+                    for k in ("p50_us", "p95_us", "p99_us") if k in row["metrics"]]
+            if pcts:
+                line += "  latency " + " ".join(pcts)
+            print(line)
 
     if args.check:
         if not prior:
@@ -198,7 +217,9 @@ def main(argv: list[str]) -> int:
             # baseline, so the check is explicitly (not vacuously) green.
             print("check: no baseline yet (this run establishes it)")
             return 0
-        regressions = check_run(current, prior, budgets)
+        regressions, warnings = check_run(current, prior, budgets)
+        for w in warnings:
+            print(f"warning: {w}")
         if regressions:
             for r in regressions:
                 print(f"REGRESSION {r}", file=sys.stderr)

@@ -28,6 +28,12 @@ literals stripped) for constructs that would let those invariants rot:
                            must reach the hidden matrix only through
                            ProbeOracle, which charges probe cost. Use
                            tmwia/matrix/ids.hpp for the id types.
+  serve-matrix-isolation   serve-layer code naming PreferenceMatrix or
+                           reaching into the hidden truth (inst_.matrix):
+                           request handlers answer only from the published
+                           AnswerCache, which is fed exclusively through
+                           probes. The Tenant harness side (which builds
+                           the ProbeOracle) carries the audited pragma.
   durable-write            std::ofstream/std::rename/fsync/fopen outside
                            src/io in artifact-producing code. Checkpoints
                            and reports must go through io::atomic_write_file
@@ -198,6 +204,19 @@ RULES = [
         patterns=(
             r"\bPreferenceMatrix\b",
             r"preference_matrix\.hpp",
+        ),
+    ),
+    Rule(
+        id="serve-matrix-isolation",
+        description="serve-layer request/service code must not touch "
+        "PreferenceMatrix or the tenant's hidden truth; answers come from the "
+        "published AnswerCache, fed only through probes (the Tenant harness "
+        "side carries an auditable allow-file pragma)",
+        dirs=("src/serve",),
+        patterns=(
+            r"\bPreferenceMatrix\b",
+            r"preference_matrix\.hpp",
+            r"\binst_\s*\.\s*matrix\b",
         ),
     ),
     Rule(
@@ -947,6 +966,16 @@ SELF_TEST_FIXTURES = {
         "  local_shard().slot_add(0, 1);\n"
         "}\n"
     ),
+    "src/serve/fix_serve_fire.cpp": (
+        "void fixture_serve_fire(void* m) {\n"
+        "  touch<PreferenceMatrix>(m);\n"
+        "  read(inst_.matrix);\n"
+        "}\n"
+    ),
+    "src/serve/fix_serve_allowed.cpp": (
+        "// tmwia-lint: allow-file(serve-matrix-isolation) fixture: harness side\n"
+        "void fixture_serve_allowed(PreferenceMatrix* m) {}\n"
+    ),
     "src/fix/stale.cpp": (
         "// tmwia-lint: allow-file(unseeded-rng) fixture: nothing random here\n"
         "void fixture_stale() {}\n"
@@ -966,6 +995,8 @@ SELF_TEST_FINDINGS = {
     ("explicit-atomic-ordering", "src/fix/atomic.cpp", 4),
     ("explicit-atomic-ordering", "src/fix/atomic.cpp", 5),
     ("owner-write", "src/fix/owner_write.cpp", 3),
+    ("serve-matrix-isolation", "src/serve/fix_serve_fire.cpp", 2),
+    ("serve-matrix-isolation", "src/serve/fix_serve_fire.cpp", 3),
     ("stale-pragma", "src/fix/stale.cpp", 1),
     # The fixture tree has public headers = none, so the generated header
     # test is reported missing — expected, not part of the rules under test.
@@ -976,6 +1007,7 @@ SELF_TEST_ALLOWED = {
     ("naked-mutex", "src/fix/naked_allowed.hpp", 5),
     ("manual-lock", "src/fix/manual_lock.cpp", 6),
     ("stale-pragma", "src/fix/stale_allowed.cpp", 2),
+    ("serve-matrix-isolation", "src/serve/fix_serve_allowed.cpp", 2),
 }
 
 

@@ -33,6 +33,12 @@
 #              findings, then (when a clang++ exists) a full build with
 #              -DTMWIA_THREAD_SAFETY=ON so Clang's -Werror=thread-safety
 #              checks every capability annotation   (build-tsa/)
+#   serve      opt-in: the serving-layer contract — spawn
+#              `tmwia_cli serve` on the committed sample request stream
+#              (tools/serve_requests.sample.jsonl), jq-check every
+#              response line's shape, and verify the exit-code contract:
+#              0 for a clean stream, 2 when a request fails to parse or
+#              dispatch, 4 when a tenant ends the stream degraded
 #   kill-resume opt-in: durability drill — checkpoint an e8-scale
 #              unknown_d run, SIGKILL it mid-phase via the kill-at-round
 #              fault, resume from the snapshot, and require the
@@ -44,7 +50,7 @@
 #   tools/run_tests.sh [--plain-only|--sanitize-only|--tsan-only]
 #                      [--lint-only] [--audit] [--bench-json]
 #                      [--bench-history] [--kernel-parity]
-#                      [--thread-safety] [--kill-resume] [-j N]
+#                      [--thread-safety] [--kill-resume] [--serve] [-j N]
 #
 # Default runs lint + plain + asan + tsan; all requested stages must pass.
 set -euo pipefail
@@ -61,6 +67,7 @@ RUN_BENCH_HISTORY=0
 RUN_KERNEL_PARITY=0
 RUN_THREAD_SAFETY=0
 RUN_KILL_RESUME=0
+RUN_SERVE=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -74,6 +81,7 @@ while [[ $# -gt 0 ]]; do
     --kernel-parity) RUN_KERNEL_PARITY=1 ;;
     --thread-safety) RUN_THREAD_SAFETY=1 ;;
     --kill-resume) RUN_KILL_RESUME=1 ;;
+    --serve) RUN_SERVE=1 ;;
     -j) JOBS="$2"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
@@ -123,10 +131,10 @@ if [[ $RUN_TSAN -eq 1 ]]; then
   echo "== TSan (obs + engine + scheduler) =="
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DTMWIA_TSAN=ON
   cmake --build "$ROOT/build-tsan" -j "$JOBS" \
-    --target test_obs test_engine test_round_scheduler test_thread_safety
+    --target test_obs test_engine test_round_scheduler test_thread_safety test_serve
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
-    -R '(Metrics|Trace|Obs|Engine|ThreadPool|Parallel|RoundScheduler|Scheduler|ThreadSafety)'
+    -R '(Metrics|Trace|Obs|Engine|ThreadPool|Parallel|RoundScheduler|Scheduler|ThreadSafety|Serve)'
 fi
 
 if [[ $RUN_AUDIT -eq 1 ]]; then
@@ -250,6 +258,59 @@ if [[ $RUN_THREAD_SAFETY -eq 1 ]]; then
   else
     echo "-- clang++ not found; annotation compile check skipped (lint rules still enforced)"
   fi
+fi
+
+if [[ $RUN_SERVE -eq 1 ]]; then
+  echo "== serve (service mode contract) =="
+  command -v jq >/dev/null || { echo "jq required for --serve" >&2; exit 2; }
+  cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+  cmake --build "$ROOT/build" -j "$JOBS" --target tmwia_cli
+  CLI="$ROOT/build/tools/tmwia_cli"
+  SERVE_DIR="$(mktemp -d)"
+
+  echo "-- clean stream: sample requests, exit 0, well-formed responses"
+  "$CLI" serve --requests="$ROOT/tools/serve_requests.sample.jsonl" \
+    --out="$SERVE_DIR/resp.jsonl" --metrics="$SERVE_DIR/metrics.json"
+  # Every response line: known op, boolean ok, numeric latency.
+  jq -e -s 'length > 0 and all(.[];
+      (.op | type == "string") and (.ok | type == "boolean")
+      and (.latency_us | type == "number"))' \
+    "$SERVE_DIR/resp.jsonl" >/dev/null \
+    || { echo "serve: malformed response line(s)" >&2; exit 1; }
+  # All sample requests succeed; recommend carries items, estimate a
+  # bitstring, stats the published-epoch counters, every view a hash.
+  jq -e -s 'all(.[]; .ok)
+      and ([.[] | select(.op == "recommend")] | length == 2)
+      and all(.[] | select(.op == "recommend"); .items | type == "array")
+      and all(.[] | select(.op == "estimate"); .estimate | test("^[01]+$"))
+      and all(.[] | select(.op == "stats"); .epochs_published >= 1)
+      and all(.[] | select(.epoch != null); .hash | test("^0x[0-9a-f]{16}$"))' \
+    "$SERVE_DIR/resp.jsonl" >/dev/null \
+    || { echo "serve: response contract violated" >&2; exit 1; }
+  jq -e '.counters["serve.requests"] >= 1' "$SERVE_DIR/metrics.json" >/dev/null \
+    || { echo "serve: metrics artifact missing serve.requests" >&2; exit 1; }
+
+  echo "-- bad request: exit 2, ok=false response"
+  rc=0
+  printf '%s\n' '{"op":"recommend","tenant":"ghost","player":0}' \
+    | "$CLI" serve --requests=- --out="$SERVE_DIR/bad.jsonl" || rc=$?
+  [[ $rc -eq 2 ]] || { echo "serve: expected exit 2 for failed request, got $rc" >&2; exit 1; }
+  jq -e '.ok == false and (.error | length > 0)' "$SERVE_DIR/bad.jsonl" >/dev/null \
+    || { echo "serve: failed request not reported as ok=false" >&2; exit 1; }
+
+  echo "-- degraded tenant: exit 4, responses carry the marker"
+  rc=0
+  printf '%s\n' \
+    '{"op":"add_tenant","tenant":"sab","n":16,"m":32,"kind":"planted","seed":3,"sabotage":true}' \
+    '{"op":"refine","tenant":"sab","epochs":1}' \
+    '{"op":"recommend","tenant":"sab","player":0,"k":4}' \
+    | "$CLI" serve --requests=- --out="$SERVE_DIR/deg.jsonl" || rc=$?
+  [[ $rc -eq 4 ]] || { echo "serve: expected exit 4 for degraded tenant, got $rc" >&2; exit 1; }
+  jq -e -s 'all(.[]; .ok) and (.[-1].degraded == true) and (.[-1].staleness >= 1)' \
+    "$SERVE_DIR/deg.jsonl" >/dev/null \
+    || { echo "serve: degraded responses not marked" >&2; exit 1; }
+
+  rm -rf "$SERVE_DIR"
 fi
 
 if [[ $RUN_KILL_RESUME -eq 1 ]]; then

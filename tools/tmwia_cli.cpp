@@ -26,6 +26,15 @@
 // the events alone, cross-checking the stream against the recorded
 // run_end totals.
 //
+// Service mode: `serve --requests=FILE` drives a long-lived
+// serve::RecommendationService from a scriptable JSONL request stream
+// (one flat JSON object per line; '-' reads stdin) and writes one
+// response line per request to --out (default stdout). `--background`
+// runs refinement epochs on a background thread (capped per tenant by
+// --max-epochs) while requests are answered from the versioned cache;
+// without it, refinement happens only at explicit {"op":"refine"}
+// lines, which keeps the response stream deterministic.
+//
 // Durability: `run --checkpoint=FILE --checkpoint-every=R` (unknown_d)
 // cuts a crash-consistent snapshot at guess boundaries every R rounds;
 // `resume --checkpoint=FILE --in=WORLD` continues a killed run to a
@@ -65,6 +74,8 @@
 #include "tmwia/io/serialize.hpp"
 #include "tmwia/io/table.hpp"
 #include "tmwia/obs/flight_recorder.hpp"
+#include "tmwia/serve/protocol.hpp"
+#include "tmwia/serve/service.hpp"
 
 using namespace tmwia;
 
@@ -84,7 +95,7 @@ constexpr int kExitCheckpointCorrupt = 5;
 // it, per subcommand.
 const io::FlagTable& flag_table() {
   static const io::FlagTable table(
-      "usage: tmwia_cli <gen|info|run|resume|eval|inspect|replay> [--key=value ...]  "
+      "usage: tmwia_cli <gen|info|run|resume|eval|inspect|replay|serve> [--key=value ...]  "
       "(or: tmwia_cli --help)",
       {
           {"kind", "K", "instance family: planted|multi|adversarial|markov|lowrank|uniform",
@@ -97,7 +108,8 @@ const io::FlagTable& flag_table() {
           {"noise", "F", "per-entry noise rate for generated instances (default 0.1)",
            "gen"},
           {"seed", "S", "deterministic seed (default 1)", "gen,run"},
-          {"out", "FILE", "output file (instance or estimates)", "gen,run,resume"},
+          {"out", "FILE", "output file (instance, estimates, or serve responses; serve "
+           "defaults to stdout)", "gen,run,resume,serve"},
           {"in", "FILE", "instance file", "info,run,resume,eval"},
           {"algo", "NAME", "zero|small|large|unknown_d|anytime|mimic|solo|knn|svd", "run"},
           {"d", "D", "distance bound for --algo=small|large (default 8)", "run"},
@@ -106,16 +118,16 @@ const io::FlagTable& flag_table() {
           {"rate", "F", "sample rate for --algo=svd (default 0.25)", "run"},
           {"rank", "K", "rank for --algo=svd (default 4)", "run"},
           {"faults", "SPEC", "fault plan, e.g. seed=S,crash=R@A-B,probe=R,kill=R", "run"},
-          {"metrics", "FILE", "write final metrics snapshot JSON here", "run,resume"},
+          {"metrics", "FILE", "write final metrics snapshot JSON here", "run,resume,serve"},
           {"trace", "FILE", "write span/event trace JSONL here", "run,resume"},
           {"record", "FILE", "write the flight-recorder event log here", "run,resume"},
           {"record-format", "F", "recorder wire format: jsonl|binary (default jsonl)",
            "run,resume"},
           {"report", "FILE", "write the RunReport (phase timeline) as JSON here",
            "run,resume"},
-          {"threads", "N", "global thread-pool size (0 = hardware)", "run,resume"},
+          {"threads", "N", "global thread-pool size (0 = hardware)", "run,resume,serve"},
           {"kernel", "B", "distance-kernel backend: scalar|avx2|avx512|auto "
-           "(default auto; any choice computes identical results)", "run,resume"},
+           "(default auto; any choice computes identical results)", "run,resume,serve"},
           {"checkpoint", "FILE", "checkpoint file (written by run, read+rewritten by "
            "resume)", "run,resume"},
           {"checkpoint-every", "R", "checkpoint cadence in rounds (0 = never; resume "
@@ -127,6 +139,11 @@ const io::FlagTable& flag_table() {
           {"sabotage", "P", "mimic: make player P's strategy always throw (drill)",
            "run"},
           {"outputs", "FILE", "estimates file to score", "eval"},
+          {"requests", "FILE", "serve: request JSONL stream ('-' = stdin)", "serve"},
+          {"background", "", "serve: refine on a background thread while answering",
+           "serve"},
+          {"max-epochs", "E", "serve: background epochs per tenant (default 4, 0 = until "
+           "the stream ends)", "serve"},
           {"log", "FILE", "flight-recorder log to read", "inspect,replay"},
           {"help", "", "show this help"},
       });
@@ -884,6 +901,67 @@ int cmd_replay(const io::Args& args) {
 
 }  // namespace
 
+int cmd_serve(const io::Args& args) {
+  // Thread count before the first parallel phase, kernel backend
+  // before the first distance call — same ordering contract as `run`.
+  engine::set_global_threads(static_cast<std::size_t>(args.get_int("threads", 0)));
+  apply_kernel_flag(args);
+  const auto metrics_path = args.get("metrics");
+  if (metrics_path.has_value()) obs::MetricsRegistry::global().set_enabled(true);
+
+  const auto req_path = require(args, "requests");
+  std::ifstream req_file;
+  std::istream* in = &std::cin;
+  if (req_path != "-") {
+    req_file.open(req_path);
+    if (!req_file) throw std::runtime_error("cannot open --requests file '" + req_path + "'");
+    in = &req_file;
+  }
+  // tmwia-lint: allow(durable-write) streaming response sink, not a one-shot artifact
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (const auto out_path = args.get("out"); out_path.has_value()) {
+    out_file.open(*out_path);
+    if (!out_file) throw std::runtime_error("cannot open --out file '" + *out_path + "'");
+    out = &out_file;
+  }
+
+  serve::RecommendationService service;
+  const bool background = args.get_flag("background");
+  const auto max_epochs = static_cast<std::uint64_t>(args.get_int("max-epochs", 4));
+  bool any_failed = false;
+  std::string line;
+  while (std::getline(*in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    serve::Response resp;
+    try {
+      resp = service.handle(serve::parse_request(line));
+    } catch (const std::exception& ex) {
+      resp.op = "parse";
+      resp.ok = false;
+      resp.error = ex.what();
+    }
+    if (!resp.ok) any_failed = true;
+    *out << resp.to_json() << '\n';
+    // The refiner needs at least one tenant to round-robin over, so it
+    // starts lazily after the first successful add_tenant.
+    if (background && !service.refiner_running() && !service.tenant_names().empty()) {
+      service.start_refiner(max_epochs);
+    }
+  }
+  // Let the in-flight epoch finish, then join; remaining epochs are
+  // abandoned (the stream is done, nobody would read the fresher cache).
+  service.stop_refiner();
+
+  if (metrics_path.has_value()) {
+    write_text_artifact(*metrics_path, obs::MetricsRegistry::global().snapshot().to_json());
+  }
+  if (any_failed) return kExitUsage;
+  if (service.any_degraded()) return kExitDegraded;
+  return kExitOk;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
@@ -905,6 +983,7 @@ int main(int argc, char** argv) {
     if (cmd == "eval") return cmd_eval(args);
     if (cmd == "inspect") return cmd_inspect(args);
     if (cmd == "replay") return cmd_replay(args);
+    if (cmd == "serve") return cmd_serve(args);
     return usage();
   } catch (const io::CheckpointError& e) {
     // CheckpointError messages already carry their "checkpoint:" context.
