@@ -6,6 +6,7 @@
 
 #include "tmwia/obs/flight_recorder.hpp"
 #include "tmwia/obs/metrics.hpp"
+#include "tmwia/obs/profile.hpp"
 
 namespace tmwia::billboard {
 namespace {
@@ -163,6 +164,7 @@ std::vector<VotedVector> tally(std::span<const bits::BitVector> posts,
 std::vector<VotedVector> Billboard::popular(const std::string& channel,
                                             std::uint32_t min_votes) const {
   board_metrics().reads.inc();
+  obs::profile_cost(obs::Cost::kRankQueries, 1);
   support::MutexLock lk(mu_);
   const auto it = channels_.find(channel);
   if (it == channels_.end()) return {};

@@ -5,6 +5,7 @@
 #include "tmwia/billboard/protocol_auditor.hpp"
 #include "tmwia/obs/flight_recorder.hpp"
 #include "tmwia/obs/metrics.hpp"
+#include "tmwia/obs/profile.hpp"
 #include "tmwia/obs/trace.hpp"
 
 namespace tmwia::billboard {
@@ -214,6 +215,7 @@ ScheduleResult RoundScheduler::run(std::vector<std::unique_ptr<PlayerStrategy>>&
     }
     ++res.rounds;
     metrics.rounds.inc();
+    obs::profile_cost(obs::Cost::kRounds, 1);
     metrics.active_players.observe(active_players);
 
     for (const auto& [p, o] : this_round) {

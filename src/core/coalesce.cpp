@@ -6,6 +6,8 @@
 
 #include "tmwia/bits/kernels.hpp"
 
+#include "tmwia/obs/profile.hpp"
+
 namespace tmwia::core {
 
 CoalesceResult coalesce(const std::vector<bits::BitVector>& vectors, std::size_t D,
@@ -24,6 +26,10 @@ CoalesceResult coalesce(const std::vector<bits::BitVector>& vectors, std::size_t
     bits::kernels::dist_many(vectors[i], vectors,
                              std::span<std::uint32_t>(dist_matrix).subspan(i * n, n));
   }
+  // Logical bytes handed to the kernel layer: n rows of n vectors,
+  // word-granular — backend-invariant, so safe for determinism diffs.
+  obs::profile_cost(obs::Cost::kKernelBytes,
+                    static_cast<std::uint64_t>(n) * n * vectors[0].words().size() * 8);
   const auto dist_at = [&](std::size_t i, std::size_t j) {
     return static_cast<std::size_t>(dist_matrix[i * n + j]);
   };

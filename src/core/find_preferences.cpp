@@ -13,6 +13,7 @@
 #include "tmwia/core/small_radius.hpp"
 #include "tmwia/engine/thread_pool.hpp"
 #include "tmwia/obs/flight_recorder.hpp"
+#include "tmwia/obs/profile.hpp"
 #include "tmwia/obs/trace.hpp"
 
 namespace tmwia::core {
@@ -43,6 +44,8 @@ const char* branch_name(Branch b) {
 /// Called at the serial tail of every top-level entry point, so gauge
 /// values (and hence snapshots) do not depend on thread interleaving.
 void finalize_report(RunReport& res, const billboard::ProbeOracle& oracle) {
+  auto& prof = obs::Profiler::global();
+  if (prof.enabled()) res.profile_json = prof.report().to_json(prof.wall_sampling());
   auto& reg = obs::MetricsRegistry::global();
   if (!reg.enabled()) return;
   reg.set_gauge("oracle.total_invocations",
@@ -149,27 +152,30 @@ RunReport find_preferences(billboard::ProbeOracle& oracle, billboard::Billboard*
   auto* rec = obs::recorder();
   if (rec != nullptr) rec->run_begin(phase_label, alpha, players.size(), objects.size(), D);
 
-  switch (res.branch) {
-    case Branch::kZeroRadius:
-      c_zero.inc();
-      res.outputs = zero_radius_bits(oracle, board, players, objects, alpha, params,
-                                     rng.split(0x2e20), "main/zr");
-      break;
-    case Branch::kSmallRadius:
-      c_small.inc();
-      res.outputs = small_radius(oracle, board, players, objects, alpha, D, params,
-                                 rng.split(0x57a11), players.size())
-                        .outputs;
-      break;
-    case Branch::kLargeRadius:
-      c_large.inc();
-      res.outputs =
-          large_radius(oracle, board, players, objects, alpha, D, params, rng.split(0x1a26e))
-              .outputs;
-      break;
-  }
+  {
+    obs::ProfileZone branch_zone(phase_label);
+    switch (res.branch) {
+      case Branch::kZeroRadius:
+        c_zero.inc();
+        res.outputs = zero_radius_bits(oracle, board, players, objects, alpha, params,
+                                       rng.split(0x2e20), "main/zr");
+        break;
+      case Branch::kSmallRadius:
+        c_small.inc();
+        res.outputs = small_radius(oracle, board, players, objects, alpha, D, params,
+                                   rng.split(0x57a11), players.size())
+                          .outputs;
+        break;
+      case Branch::kLargeRadius:
+        c_large.inc();
+        res.outputs =
+            large_radius(oracle, board, players, objects, alpha, D, params, rng.split(0x1a26e))
+                .outputs;
+        break;
+    }
 
-  rescue_orphans(oracle, res.outputs, players, params, rng.split(0x0E5C));
+    rescue_orphans(oracle, res.outputs, players, params, rng.split(0x0E5C));
+  }
 
   res.rounds = oracle.rounds_since(before);
   res.total_probes = oracle.total_invocations() - probes_before;
@@ -199,6 +205,7 @@ RunReport unknown_d_impl(billboard::ProbeOracle& oracle, billboard::Billboard* b
   const std::size_t m = objects.size();
 
   obs::Span span(obs::tracer(), "find_preferences_unknown_d", {{"alpha", alpha}});
+  obs::ProfileZone prof_zone("unknown_d");
   auto* rec = obs::recorder();
 
   RunReport res;
@@ -280,9 +287,13 @@ RunReport unknown_d_impl(billboard::ProbeOracle& oracle, billboard::Billboard* b
   // bound is needed (Section 6.1).
   for (std::size_t gi = start_gi; gi < res.guesses.size(); ++gi) {
     const auto guess_probes_before = oracle.total_invocations();
-    versions.push_back(
-        find_preferences(oracle, board, alpha, res.guesses[gi], params, rng.split(0xD0, gi))
-            .outputs);
+    {
+      // tmwia-lint: allow(metric-name-registry) guess zones are parameterized by d
+      obs::ProfileZone guess_zone("guess:d=" + std::to_string(res.guesses[gi]));
+      versions.push_back(
+          find_preferences(oracle, board, alpha, res.guesses[gi], params, rng.split(0xD0, gi))
+              .outputs);
+    }
     const auto guess_probes = oracle.total_invocations() - guess_probes_before;
     h_guess_probes.observe(guess_probes);
     if (auto* t = obs::tracer()) {
@@ -299,6 +310,7 @@ RunReport unknown_d_impl(billboard::ProbeOracle& oracle, billboard::Billboard* b
   res.outputs.assign(players.size(), bits::BitVector(m));
   res.chosen_d.assign(players.size(), 0);
   auto* injector = oracle.fault_injector();
+  obs::ProfileZone select_zone("select");
   engine::parallel_for(0, players.size(), [&](std::size_t i) {
     const PlayerId p = players[i];
     std::vector<bits::BitVector> candidates;
@@ -402,6 +414,7 @@ void keep_better_outputs(billboard::ProbeOracle& oracle,
                          std::vector<bits::BitVector>& challenger, std::uint64_t phase,
                          const Params& params, const rng::Rng& rng) {
   auto* injector = oracle.fault_injector();
+  obs::ProfileZone zone("keep_better");
   engine::parallel_for(0, current.size(), [&](std::size_t i) {
     const PlayerId p = static_cast<PlayerId>(i);
     if (injector != nullptr && injector->is_failed(p)) return;
@@ -422,6 +435,7 @@ RunReport anytime(billboard::ProbeOracle& oracle, billboard::Billboard* board,
   const auto probes_before = oracle.total_invocations();
 
   obs::Span span(obs::tracer(), "anytime", {{"round_budget", round_budget}});
+  obs::ProfileZone prof_zone("anytime");
   auto* rec = obs::recorder();
   if (rec != nullptr) rec->run_begin("anytime", 1.0, players.size(), objects.size());
 
@@ -434,6 +448,8 @@ RunReport anytime(billboard::ProbeOracle& oracle, billboard::Billboard* board,
     const double alpha = std::pow(0.5, static_cast<double>(phase));
     if (alpha * static_cast<double>(players.size()) < 1.0) break;
 
+    // tmwia-lint: allow(metric-name-registry) phase zones are parameterized by index
+    obs::ProfileZone phase_zone("phase:" + std::to_string(phase));
     auto run = find_preferences_unknown_d(oracle, board, alpha, params, rng.split(0xA17, phase));
 
     if (!have_previous) {

@@ -76,7 +76,7 @@ struct DegradedInfo {
 /// `metrics` is a snapshot of the global MetricsRegistry taken at the
 /// end of the call when the registry is enabled (empty otherwise).
 struct RunReport {
-  enum class Algo : std::uint8_t { kFixedD, kUnknownD, kAnytime, kSupervised };
+  enum class Algo : std::uint8_t { kFixedD, kUnknownD, kAnytime, kSupervised, kServe };
 
   Algo algo = Algo::kFixedD;
   /// Output vector per player (aligned with player ids, coordinates in
@@ -103,10 +103,18 @@ struct RunReport {
   /// engine::Supervisor degraded the run instead of aborting it).
   DegradedInfo degraded;
 
+  /// Cost-attribution tree (obs::ProfileReport::to_json) captured at
+  /// the end of the run when the global Profiler is enabled; empty
+  /// otherwise. Pre-rendered JSON, spliced verbatim into to_json().
+  std::string profile_json;
+  /// SLO verdict (obs::SloReport::to_json) when a serve session ran
+  /// under a watchdog; empty otherwise.
+  std::string slo_json;
+
   /// One-line JSON object with the scalar results, the timeline, the
   /// variant detail (chosen_d/guesses/phases), and — when non-empty —
-  /// the degraded section. Outputs and the metrics snapshot are *not*
-  /// embedded — they have their own sinks.
+  /// the degraded, profile and slo sections. Outputs and the metrics
+  /// snapshot are *not* embedded — they have their own sinks.
   [[nodiscard]] std::string to_json() const;
 };
 

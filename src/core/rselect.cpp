@@ -6,6 +6,7 @@
 
 #include "tmwia/bits/kernels.hpp"
 #include "tmwia/obs/metrics.hpp"
+#include "tmwia/obs/profile.hpp"
 #include "tmwia/rng/partition.hpp"
 
 namespace tmwia::core {
@@ -102,6 +103,7 @@ RSelectResult rselect_closest(const std::vector<bits::TriVector>& candidates, st
   }
   res.index = best;
   metrics.probes.add(res.probes);
+  obs::profile_cost(obs::Cost::kProbes, res.probes);
   return res;
 }
 

@@ -13,6 +13,7 @@ const char* algo_name(RunReport::Algo a) {
     case RunReport::Algo::kUnknownD: return "unknown_d";
     case RunReport::Algo::kAnytime: return "anytime";
     case RunReport::Algo::kSupervised: return "supervised";
+    case RunReport::Algo::kServe: return "serve";
   }
   return "?";
 }
@@ -108,6 +109,8 @@ std::string RunReport::to_json() const {
     }
     case Algo::kSupervised:
       break;  // phase detail lives in the timeline; degraded below
+    case Algo::kServe:
+      break;  // serve detail lives in the profile/slo sections below
   }
   out += ",\"timeline\":[";
   for (std::size_t i = 0; i < timeline.size(); ++i) {
@@ -140,6 +143,14 @@ std::string RunReport::to_json() const {
       append_json_string(out, degraded.unmet_phases[i]);
     }
     out += "]}";
+  }
+  if (!profile_json.empty()) {
+    out += ",\"profile\":";
+    out += profile_json;
+  }
+  if (!slo_json.empty()) {
+    out += ",\"slo\":";
+    out += slo_json;
   }
   out.push_back('}');
   return out;

@@ -7,6 +7,7 @@
 
 #include "tmwia/bits/kernels.hpp"
 #include "tmwia/obs/metrics.hpp"
+#include "tmwia/obs/profile.hpp"
 
 namespace tmwia::core {
 namespace {
@@ -235,6 +236,7 @@ SelectResult select_closest(const std::vector<bits::TriVector>& candidates, std:
         return candidates[a].lex_compare(candidates[b]);
       });
   metrics.probes.add(res.probes);
+  obs::profile_cost(obs::Cost::kProbes, res.probes);
   return res;
 }
 
@@ -255,6 +257,7 @@ SelectResult select_closest(const std::vector<bits::BitVector>& candidates, std:
   if (k == 2) {
     auto res = select_pair(candidates[0], candidates[1], D, probe);
     metrics.probes.add(res.probes);
+    obs::profile_cost(obs::Cost::kProbes, res.probes);
     return res;
   }
 
@@ -269,6 +272,7 @@ SelectResult select_closest(const std::vector<bits::BitVector>& candidates, std:
                              return candidates[a].lex_compare(candidates[b]);
                            });
   metrics.probes.add(res.probes);
+  obs::profile_cost(obs::Cost::kProbes, res.probes);
   return res;
 }
 

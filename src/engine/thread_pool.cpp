@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "tmwia/bits/kernels.hpp"
+#include "tmwia/obs/profile.hpp"
 
 namespace tmwia::engine {
 namespace {
@@ -105,10 +106,17 @@ void detail::parallel_for_chunks(std::size_t begin, std::size_t end,
   } join;
   std::atomic<bool> failed{false};  // advisory skip flag only
 
+  // Ambient profile zone: costs deposited inside parallelized player
+  // loops attribute to the phase that spawned them, not to an
+  // anonymous worker root. Workers swap the caller's zone in for the
+  // chunk and restore their own afterwards.
+  const obs::Profiler::ZoneId ambient_zone = obs::Profiler::current_zone();
+
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * grain;
     const std::size_t hi = std::min(end, lo + grain);
-    pool.submit([&, lo, hi] {
+    pool.submit([&, lo, hi, ambient_zone] {
+      const obs::Profiler::ZoneId prev_zone = obs::Profiler::swap_current_zone(ambient_zone);
       std::exception_ptr err;
       try {
         if (!failed.load(std::memory_order_relaxed)) {
@@ -118,6 +126,7 @@ void detail::parallel_for_chunks(std::size_t begin, std::size_t end,
         failed.store(true, std::memory_order_relaxed);
         err = std::current_exception();
       }
+      obs::Profiler::swap_current_zone(prev_zone);
       MutexLock lk(join.mu);
       if (err && !join.first_error) join.first_error = err;
       if (++join.done == chunks) join.cv.notify_all();

@@ -1,0 +1,230 @@
+// Deterministic cost-attribution profiler.
+//
+// A ProfileZone marks a scoped phase ("find_preferences", "select",
+// "tenant:alpha"); zones nest into a tree via a thread-local current
+// zone, and every logical cost deposited while a zone is current —
+// probes charged, kernel bytes scanned, billboard rank queries, lock
+// acquisitions, scheduler rounds — lands on that zone's node.
+//
+// Determinism contract (the reason this exists next to wall-clock
+// profilers): all *logical* costs are pure functions of the workload,
+// so the attribution tree is byte-identical across --threads and
+// across kernel backends. The storage reuses the MetricsRegistry
+// owner-write shard pattern — each writing thread deposits into a
+// private shard of plain 64-bit slots (no RMW, no contention), and
+// report() merges shards by summation, which commutes. Zone *ids* are
+// interning-order dependent (racy across threads), so they never
+// appear in any export: report() re-keys the tree by zone name, with
+// children sorted by name.
+//
+// Wall time (Cost::kWallUs) is the one opt-in exception: when
+// set_wall_sampling(true), each ProfileZone also deposits its
+// elapsed microseconds. Wall costs are scheduling-dependent, so
+// ProfileReport::to_json() omits them unless asked — determinism
+// checks diff the default export.
+//
+// Cross-thread attribution: engine::parallel_for propagates the
+// caller's current zone to pool workers (swap_current_zone), so costs
+// from parallelized player loops attribute to the phase that spawned
+// them, not to an anonymous worker root.
+//
+// The global() profiler starts DISABLED; a disabled profiler's
+// deposit path is one relaxed load. Profiler state is process-local
+// and NOT checkpointed: a resumed run's tree covers the resumed
+// session only (metrics, by contrast, are spliced via
+// MetricsRegistry::restore).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "tmwia/support/thread_annotations.hpp"
+
+namespace tmwia::obs {
+
+/// Logical cost axes recorded per zone. All except kWallUs are
+/// workload-determined (byte-stable across threads/backends).
+enum class Cost : std::uint8_t {
+  kProbes = 0,       ///< oracle probes charged
+  kKernelBytes = 1,  ///< logical bytes handed to distance kernels (vectors x words x 8)
+  kRankQueries = 2,  ///< billboard tally/rank reads
+  kLocks = 3,        ///< instrumented lock acquisitions (serve hot path)
+  kRounds = 4,       ///< scheduler rounds driven
+  kCalls = 5,        ///< zone entries (every ProfileZone deposits 1 on exit)
+  kWallUs = 6,       ///< opt-in wall-time sampling, microseconds
+  kCount = 7
+};
+
+inline constexpr std::size_t kCostCount = static_cast<std::size_t>(Cost::kCount);
+
+/// Short stable key for each cost axis, used in JSON exports.
+[[nodiscard]] std::string_view cost_name(Cost c);
+
+/// One node of the merged attribution tree. Children are sorted by
+/// name, so equal logical work yields byte-identical exports.
+struct ProfileNode {
+  std::string name;
+  std::array<std::uint64_t, kCostCount> costs{};  ///< self costs (exclusive)
+  std::vector<ProfileNode> children;
+
+  [[nodiscard]] std::uint64_t cost(Cost c) const {
+    return costs[static_cast<std::size_t>(c)];
+  }
+  /// Self cost plus all descendants'.
+  [[nodiscard]] std::uint64_t total(Cost c) const;
+};
+
+/// Point-in-time merged attribution tree.
+struct ProfileReport {
+  ProfileNode root;  ///< name "root"; top-level zones are its children
+
+  /// Nested one-line JSON: {"name":N,"costs":{axis:V,...},"children":
+  /// [...]}. Only nonzero axes appear, in fixed axis order; wall_us is
+  /// omitted unless include_wall (it breaks cross-thread byte
+  /// stability). Byte-deterministic for equal logical work.
+  [[nodiscard]] std::string to_json(bool include_wall = false) const;
+
+  /// d3-flamegraph-style JSON over one axis: {"name":N,"value":self,
+  /// "children":[...]}. `value` is the zone's self cost; stack totals
+  /// are the sums down each path.
+  [[nodiscard]] std::string flamegraph_json(Cost axis) const;
+};
+
+class Profiler {
+  static constexpr std::size_t kChunkBits = 8;
+  static constexpr std::size_t kChunkSlots = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kMaxChunks = 64;  ///< 16384 slots / kCostCount zones
+
+ public:
+  using ZoneId = std::uint32_t;
+  static constexpr ZoneId kRoot = 0;
+
+  explicit Profiler(bool enabled = true);
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Opt-in wall-time sampling: every ProfileZone also deposits its
+  /// elapsed microseconds (Cost::kWallUs). Off by default — wall costs
+  /// are scheduling-dependent and excluded from determinism checks.
+  [[nodiscard]] bool wall_sampling() const { return wall_.load(std::memory_order_relaxed); }
+  void set_wall_sampling(bool on) { wall_.store(on, std::memory_order_relaxed); }
+
+  /// Find-or-create the child zone `name` under `parent`. Idempotent;
+  /// the id is stable for the profiler's lifetime. Ids are
+  /// interning-order dependent — cache them, never export them.
+  ZoneId intern(ZoneId parent, std::string_view name) TMWIA_EXCLUDES(mu_);
+
+  /// Deposit `v` of axis `c` on `zone` (owner-write shard; no
+  /// cross-thread contention). No-op while disabled.
+  void add(ZoneId zone, Cost c, std::uint64_t v) {
+    if (!enabled()) return;
+    local_shard().add(zone * kCostCount + static_cast<std::size_t>(c), v);
+  }
+
+  /// Merge every shard into a name-keyed attribution tree (call at
+  /// quiescent points).
+  [[nodiscard]] ProfileReport report() const TMWIA_EXCLUDES(mu_);
+
+  /// Zero every slot; interned zones and cached ids stay valid. Call
+  /// at quiescent points only.
+  void reset() TMWIA_EXCLUDES(mu_);
+
+  /// The calling thread's current zone (kRoot when none is open).
+  [[nodiscard]] static ZoneId current_zone();
+
+  /// Install `zone` as the calling thread's current zone, returning
+  /// the previous one. Used by ProfileZone and by parallel_for's
+  /// ambient-zone propagation onto pool workers; always restore.
+  static ZoneId swap_current_zone(ZoneId zone);
+
+  /// Process-global profiler used by the library's built-in zones.
+  /// Starts DISABLED; sinks (tmwia_cli --prof=/--flame=, serve
+  /// telemetry) enable it.
+  static Profiler& global();
+
+ private:
+  struct Chunk {
+    std::array<std::atomic<std::uint64_t>, kChunkSlots> slots{};
+  };
+  /// One writer thread's private slot array — same owner-write shape
+  /// as MetricsRegistry::Shard (plain load+store, atomic only so the
+  /// merging reader is race-free).
+  struct Shard {
+    std::array<std::atomic<Chunk*>, kMaxChunks> chunks{};
+    ~Shard();
+    void add(std::size_t slot, std::uint64_t v);
+    Chunk* grow(std::size_t chunk_index);
+  };
+
+  struct ZoneInfo {
+    std::string name;
+    ZoneId parent = kRoot;
+  };
+
+  Shard& local_shard();
+  Shard& attach_thread() TMWIA_EXCLUDES(mu_);
+
+  std::atomic<bool> enabled_;
+  std::atomic<bool> wall_{false};
+  std::uint64_t id_;  ///< process-unique; keys the thread-local shard cache
+  /// Guards profiler *structure* (zone table, shard list); shard slot
+  /// contents are owner-write atomics, deliberately unguarded.
+  mutable support::Mutex mu_;
+  std::vector<ZoneInfo> zones_ TMWIA_GUARDED_BY(mu_);
+  std::map<std::pair<ZoneId, std::string>, ZoneId, std::less<>> ids_ TMWIA_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Shard>> shards_ TMWIA_GUARDED_BY(mu_);
+};
+
+/// RAII scope marking `name` as the current zone on this thread.
+/// Deposits Cost::kCalls 1 on exit (plus kWallUs when the profiler
+/// samples wall time). The name-interning constructor takes the zone
+/// lock once per *new* (parent, name) pair and a map lookup otherwise;
+/// hot paths (serve requests) should pre-intern and use the ZoneId
+/// constructor, which touches no lock at all.
+class ProfileZone {
+ public:
+  /// Open the child zone `name` under the thread's current zone.
+  explicit ProfileZone(std::string_view name, Profiler& prof = Profiler::global());
+
+  /// Open a pre-interned zone (lock-free fast path).
+  explicit ProfileZone(Profiler::ZoneId zone, Profiler& prof = Profiler::global());
+
+  ~ProfileZone();
+
+  ProfileZone(const ProfileZone&) = delete;
+  ProfileZone& operator=(const ProfileZone&) = delete;
+
+  /// Deposit on this zone explicitly (normally profile_cost suffices).
+  void add(Cost c, std::uint64_t v) const { prof_.add(zone_, c, v); }
+
+  [[nodiscard]] Profiler::ZoneId id() const { return zone_; }
+
+ private:
+  Profiler& prof_;
+  Profiler::ZoneId zone_;
+  Profiler::ZoneId parent_;
+  bool active_;            ///< profiler was enabled at entry
+  std::int64_t start_us_;  ///< wall-sampling start, -1 when off
+};
+
+/// Deposit `v` of axis `c` on the calling thread's current zone of the
+/// global profiler. The library's instrumentation points call this;
+/// with the profiler disabled it is one relaxed load.
+inline void profile_cost(Cost c, std::uint64_t v) {
+  Profiler& p = Profiler::global();
+  if (p.enabled()) p.add(Profiler::current_zone(), c, v);
+}
+
+}  // namespace tmwia::obs

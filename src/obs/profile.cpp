@@ -1,0 +1,301 @@
+#include "tmwia/obs/profile.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace tmwia::obs {
+namespace {
+
+/// Profilers get process-unique ids so the thread-local shard cache
+/// can never confuse a new profiler allocated at a recycled address.
+// tmwia-lint: allow(nonconst-global) registered singleton: monotone id source
+std::atomic<std::uint64_t> g_next_profiler_id{1};
+
+struct TlsShardCache {
+  std::uint64_t profiler_id = 0;
+  void* shard = nullptr;
+};
+thread_local TlsShardCache t_shard_cache;
+
+thread_local Profiler::ZoneId t_current_zone = Profiler::kRoot;
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::int64_t wall_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void append_node_json(std::string& out, const ProfileNode& node, bool include_wall) {
+  out += "{\"name\":";
+  append_json_string(out, node.name);
+  out += ",\"costs\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < kCostCount; ++i) {
+    const auto axis = static_cast<Cost>(i);
+    if (axis == Cost::kWallUs && !include_wall) continue;
+    if (node.costs[i] == 0) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, cost_name(axis));
+    out.push_back(':');
+    out += std::to_string(node.costs[i]);
+  }
+  out += "},\"children\":[";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    append_node_json(out, node.children[i], include_wall);
+  }
+  out += "]}";
+}
+
+void append_flame_json(std::string& out, const ProfileNode& node, Cost axis) {
+  out += "{\"name\":";
+  append_json_string(out, node.name);
+  out += ",\"value\":";
+  out += std::to_string(node.cost(axis));
+  out += ",\"children\":[";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    append_flame_json(out, node.children[i], axis);
+  }
+  out += "]}";
+}
+
+void sort_children(ProfileNode& node) {
+  std::sort(node.children.begin(), node.children.end(),
+            [](const ProfileNode& a, const ProfileNode& b) { return a.name < b.name; });
+  for (auto& child : node.children) sort_children(child);
+}
+
+}  // namespace
+
+std::string_view cost_name(Cost c) {
+  switch (c) {
+    case Cost::kProbes: return "probes";
+    case Cost::kKernelBytes: return "kernel_bytes";
+    case Cost::kRankQueries: return "rank_queries";
+    case Cost::kLocks: return "locks";
+    case Cost::kRounds: return "rounds";
+    case Cost::kCalls: return "calls";
+    case Cost::kWallUs: return "wall_us";
+    case Cost::kCount: break;
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// ProfileNode / ProfileReport
+
+std::uint64_t ProfileNode::total(Cost c) const {
+  std::uint64_t sum = cost(c);
+  for (const auto& child : children) sum += child.total(c);
+  return sum;
+}
+
+std::string ProfileReport::to_json(bool include_wall) const {
+  std::string out;
+  append_node_json(out, root, include_wall);
+  return out;
+}
+
+std::string ProfileReport::flamegraph_json(Cost axis) const {
+  std::string out;
+  append_flame_json(out, root, axis);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Profiler::Shard (owner-write pattern, mirrors MetricsRegistry::Shard)
+
+Profiler::Shard::~Shard() {
+  for (auto& c : chunks) delete c.load(std::memory_order_relaxed);
+}
+
+void Profiler::Shard::add(std::size_t slot, std::uint64_t v) {
+  Chunk* c = chunks[slot >> kChunkBits].load(std::memory_order_acquire);
+  if (c == nullptr) c = grow(slot >> kChunkBits);
+  auto& s = c->slots[slot & (kChunkSlots - 1)];
+  // Owner-thread-only writes: plain load+store, no RMW.
+  s.store(s.load(std::memory_order_relaxed) + v, std::memory_order_relaxed);
+}
+
+Profiler::Chunk* Profiler::Shard::grow(std::size_t chunk_index) {
+  auto* fresh = new Chunk();
+  Chunk* expected = nullptr;
+  if (!chunks[chunk_index].compare_exchange_strong(expected, fresh, std::memory_order_acq_rel)) {
+    delete fresh;  // lost the (theoretical) race; owner-only writes make this unreachable
+    return expected;
+  }
+  return fresh;
+}
+
+// ---------------------------------------------------------------------------
+// Profiler
+
+Profiler::Profiler(bool enabled)
+    : enabled_(enabled), id_(g_next_profiler_id.fetch_add(1, std::memory_order_relaxed)) {
+  support::MutexLock lk(mu_);
+  zones_.push_back(ZoneInfo{"root", kRoot});  // kRoot names itself
+}
+
+Profiler::~Profiler() = default;
+
+Profiler::Shard& Profiler::local_shard() {
+  if (t_shard_cache.profiler_id == id_ && t_shard_cache.shard != nullptr) {
+    return *static_cast<Shard*>(t_shard_cache.shard);
+  }
+  Shard& s = attach_thread();
+  t_shard_cache = {id_, &s};
+  return s;
+}
+
+Profiler::Shard& Profiler::attach_thread() {
+  support::MutexLock lk(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  return *shards_.back();
+}
+
+Profiler::ZoneId Profiler::intern(ZoneId parent, std::string_view name) {
+  support::MutexLock lk(mu_);
+  auto it = ids_.find(std::make_pair(parent, std::string(name)));
+  if (it != ids_.end()) return it->second;
+  if ((zones_.size() + 1) * kCostCount > kMaxChunks * kChunkSlots) {
+    // Out of slot space: attribute to the parent rather than throwing
+    // from instrumentation (a profiler must never fail the workload).
+    return parent;
+  }
+  const auto id = static_cast<ZoneId>(zones_.size());
+  zones_.push_back(ZoneInfo{std::string(name), parent});
+  ids_.emplace(std::make_pair(parent, std::string(name)), id);
+  return id;
+}
+
+ProfileReport Profiler::report() const {
+  // Snapshot structure and merge shard totals under the lock; the
+  // slots themselves are atomics, so concurrent owner writes are not
+  // corrupted (though a mid-phase report may split a deposit pair).
+  std::vector<ZoneInfo> zones;
+  std::vector<std::uint64_t> totals;
+  {
+    support::MutexLock lk(mu_);
+    zones = zones_;
+    totals.assign(zones.size() * kCostCount, 0);
+    for (const auto& shard : shards_) {
+      for (std::size_t ci = 0; ci < kMaxChunks; ++ci) {
+        const Chunk* chunk = shard->chunks[ci].load(std::memory_order_acquire);
+        if (chunk == nullptr) continue;
+        const std::size_t base = ci << kChunkBits;
+        for (std::size_t si = 0; si < kChunkSlots; ++si) {
+          const std::size_t slot = base + si;
+          if (slot >= totals.size()) break;
+          totals[slot] += chunk->slots[si].load(std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  // Build the id-keyed tree bottom-up (parents always precede
+  // children in zones_, so one forward pass suffices), then re-key by
+  // name: children sorted, ids gone.
+  std::vector<ProfileNode> nodes(zones.size());
+  for (std::size_t z = 0; z < zones.size(); ++z) {
+    nodes[z].name = zones[z].name;
+    for (std::size_t c = 0; c < kCostCount; ++c) {
+      nodes[z].costs[c] = totals[z * kCostCount + c];
+    }
+  }
+  ProfileReport rep;
+  for (std::size_t z = zones.size(); z-- > 1;) {
+    nodes[zones[z].parent].children.push_back(std::move(nodes[z]));
+  }
+  rep.root = std::move(nodes[0]);
+  sort_children(rep.root);
+  return rep;
+}
+
+void Profiler::reset() {
+  support::MutexLock lk(mu_);
+  for (const auto& shard : shards_) {
+    for (auto& cp : shard->chunks) {
+      Chunk* chunk = cp.load(std::memory_order_acquire);
+      if (chunk == nullptr) continue;
+      for (auto& s : chunk->slots) s.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Profiler::ZoneId Profiler::current_zone() { return t_current_zone; }
+
+Profiler::ZoneId Profiler::swap_current_zone(ZoneId zone) {
+  const ZoneId prev = t_current_zone;
+  t_current_zone = zone;
+  return prev;
+}
+
+Profiler& Profiler::global() {
+  // Starts disabled: always-on zone scopes in library code cost one
+  // relaxed load until a sink (tmwia_cli --prof=, serve telemetry)
+  // flips the switch.
+  static Profiler prof(/*enabled=*/false);
+  return prof;
+}
+
+// ---------------------------------------------------------------------------
+// ProfileZone
+
+ProfileZone::ProfileZone(std::string_view name, Profiler& prof)
+    : prof_(prof), active_(prof.enabled()), start_us_(-1) {
+  if (!active_) {
+    zone_ = parent_ = Profiler::current_zone();
+    return;
+  }
+  parent_ = Profiler::current_zone();
+  zone_ = prof_.intern(parent_, name);
+  Profiler::swap_current_zone(zone_);
+  if (prof_.wall_sampling()) start_us_ = wall_now_us();
+}
+
+ProfileZone::ProfileZone(Profiler::ZoneId zone, Profiler& prof)
+    : prof_(prof), zone_(zone), active_(prof.enabled()), start_us_(-1) {
+  if (!active_) {
+    parent_ = Profiler::current_zone();
+    return;
+  }
+  parent_ = Profiler::swap_current_zone(zone_);
+  if (prof_.wall_sampling()) start_us_ = wall_now_us();
+}
+
+ProfileZone::~ProfileZone() {
+  if (!active_) return;
+  prof_.add(zone_, Cost::kCalls, 1);
+  if (start_us_ >= 0) {
+    const std::int64_t elapsed = wall_now_us() - start_us_;
+    prof_.add(zone_, Cost::kWallUs, elapsed > 0 ? static_cast<std::uint64_t>(elapsed) : 0);
+  }
+  Profiler::swap_current_zone(parent_);
+}
+
+}  // namespace tmwia::obs

@@ -34,6 +34,9 @@
 #include <vector>
 
 #include "tmwia/obs/metrics.hpp"
+#include "tmwia/obs/profile.hpp"
+#include "tmwia/obs/slo.hpp"
+#include "tmwia/obs/telemetry.hpp"
 #include "tmwia/serve/protocol.hpp"
 #include "tmwia/serve/tenant.hpp"
 #include "tmwia/support/thread_annotations.hpp"
@@ -96,6 +99,21 @@ class RecommendationService {
   /// Any tenant currently serving degraded (stale-marked) answers?
   [[nodiscard]] bool any_degraded() const;
 
+  // ---- observability hooks (install before serving) ----------------
+
+  /// Attach a telemetry exporter: every answered request is forwarded
+  /// (tenant, op, latency, staleness, degraded), driving the exporter's
+  /// count-based tick cadence. Non-owning; nullptr detaches. Install
+  /// before requests start flowing — the pointer is read unsynchronized
+  /// on the request path.
+  void set_telemetry(obs::TelemetryExporter* telemetry) { telemetry_ = telemetry; }
+
+  /// Attach an SLO watchdog: every cache-backed response feeds its
+  /// rolling window. Evaluation happens on the telemetry tick (or
+  /// explicitly); same install-before-serving contract as
+  /// set_telemetry.
+  void set_watchdog(obs::SloWatchdog* watchdog) { watchdog_ = watchdog; }
+
  private:
   struct Entry {
     std::unique_ptr<Tenant> tenant;
@@ -126,6 +144,15 @@ class RecommendationService {
   obs::MetricsRegistry::Counter degraded_responses_;
   obs::MetricsRegistry::Histogram request_us_;
   obs::MetricsRegistry::Histogram staleness_;
+
+  /// Pre-interned profile zones for the request hot path (the ZoneId
+  /// ProfileZone constructor takes no lock).
+  obs::Profiler::ZoneId zone_recommend_;
+  obs::Profiler::ZoneId zone_estimate_;
+  obs::Profiler::ZoneId zone_stats_;
+
+  obs::TelemetryExporter* telemetry_ = nullptr;  ///< non-owning, see set_telemetry
+  obs::SloWatchdog* watchdog_ = nullptr;         ///< non-owning, see set_watchdog
 
   std::thread refiner_;
   std::atomic<bool> stop_refiner_{false};

@@ -17,6 +17,10 @@ RecommendationService::RecommendationService() {
   degraded_responses_ = reg.counter("serve.degraded_responses");
   request_us_ = reg.histogram("serve.request_us", obs::MetricsRegistry::pow2_bounds(20));
   staleness_ = reg.histogram("serve.staleness_epochs", obs::MetricsRegistry::pow2_bounds(8));
+  auto& prof = obs::Profiler::global();
+  zone_recommend_ = prof.intern(obs::Profiler::kRoot, "serve.recommend");
+  zone_estimate_ = prof.intern(obs::Profiler::kRoot, "serve.estimate");
+  zone_stats_ = prof.intern(obs::Profiler::kRoot, "serve.stats");
 }
 
 RecommendationService::~RecommendationService() { stop_refiner(); }
@@ -33,8 +37,10 @@ Tenant& RecommendationService::add_tenant(TenantConfig cfg, matrix::Instance ins
   auto entry = std::make_unique<Entry>();
   entry->tenant = std::make_unique<Tenant>(std::move(cfg), std::move(inst));
   auto& reg = obs::MetricsRegistry::global();
+  // tmwia-lint: allow(metric-name-registry) per-tenant series: "serve.<tenant>.*"
   entry->requests = reg.counter("serve." + name + ".requests");
   entry->request_us =
+      // tmwia-lint: allow(metric-name-registry) per-tenant series: "serve.<tenant>.*"
       reg.histogram("serve." + name + ".request_us", obs::MetricsRegistry::pow2_bounds(20));
   // The constructor's epoch-0 publish predates the hook; record it by
   // hand — the tenant is not in the map yet, so no reader saw it.
@@ -67,12 +73,14 @@ Tenant* RecommendationService::tenant(const std::string& name) {
 }
 
 RecommendationService::Entry* RecommendationService::find(const std::string& name) {
+  obs::profile_cost(obs::Cost::kLocks, 1);
   support::MutexLock lock(mu_);
   const auto it = tenants_.find(name);
   return it != tenants_.end() ? it->second.get() : nullptr;
 }
 
 void RecommendationService::record_publish(Entry& entry, const CacheVersion& version) {
+  obs::profile_cost(obs::Cost::kLocks, 1);
   support::MutexLock lock(mu_);
   if (entry.hashes.size() <= version.epoch) entry.hashes.resize(version.epoch + 1, 0);
   entry.hashes[version.epoch] = version.content_hash;
@@ -103,11 +111,16 @@ void RecommendationService::observe(Entry& entry, const Response& r) {
   if (r.has_view) {
     staleness_.observe(r.staleness);
     if (r.degraded) degraded_responses_.inc();
+    if (watchdog_ != nullptr) watchdog_->observe_request(r.latency_us, r.staleness, r.degraded);
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->observe_request(r.tenant, r.op, r.latency_us, r.staleness, r.degraded);
   }
 }
 
 Response RecommendationService::recommend(const std::string& tenant, std::uint32_t player,
                                           std::size_t k) {
+  obs::ProfileZone zone(zone_recommend_);
   obs::WallTimer timer;
   Response r;
   r.op = "recommend";
@@ -143,6 +156,7 @@ Response RecommendationService::recommend(const std::string& tenant, std::uint32
 }
 
 Response RecommendationService::estimate(const std::string& tenant, std::uint32_t player) {
+  obs::ProfileZone zone(zone_estimate_);
   obs::WallTimer timer;
   Response r;
   r.op = "estimate";
@@ -176,6 +190,7 @@ Response RecommendationService::estimate(const std::string& tenant, std::uint32_
 }
 
 Response RecommendationService::stats(const std::string& tenant) {
+  obs::ProfileZone zone(zone_stats_);
   obs::WallTimer timer;
   Response r;
   r.op = "stats";
@@ -207,6 +222,9 @@ std::shared_ptr<const CacheVersion> RecommendationService::refine(const std::str
 }
 
 std::shared_ptr<const CacheVersion> RecommendationService::refine_entry(Entry& entry) {
+  // tmwia-lint: allow(metric-name-registry) per-tenant zone: "tenant:<name>"
+  obs::ProfileZone zone("tenant:" + entry.tenant->name());
+  obs::profile_cost(obs::Cost::kLocks, 1);
   support::MutexLock serial(refine_mu_);
   ++epochs_run_;
   // The publish hook installed at add_tenant records (epoch, hash)

@@ -6,6 +6,7 @@
 // and fault plan.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -20,6 +21,7 @@
 #include "tmwia/core/params.hpp"
 #include "tmwia/faults/fault_injector.hpp"
 #include "tmwia/matrix/generators.hpp"
+#include "tmwia/obs/latency.hpp"
 #include "tmwia/obs/metrics.hpp"
 #include "tmwia/obs/trace.hpp"
 
@@ -211,6 +213,53 @@ TEST(Metrics, HistogramPercentileOverflowClamps) {
   all_over.count = 7;
   EXPECT_DOUBLE_EQ(all_over.percentile(0.01), 5.0);
   EXPECT_DOUBLE_EQ(all_over.percentile(0.99), 5.0);
+}
+
+/// One observation: every percentile interpolates inside that one
+/// bucket — the rank q*1 lands q of the way across the (10, 20]
+/// bucket, so p50/p95/p99 spread across it and never spill into
+/// neighbouring (empty) buckets or divide by zero.
+TEST(Metrics, HistogramPercentileSingleSample) {
+  obs::HistogramData h;
+  h.bounds = {10, 20, 40};
+  h.buckets = {0, 1, 0, 0};  // one observation in (10, 20]
+  h.count = 1;
+  h.sum = 15;
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 15.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.95), 19.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 19.9);
+  // q = 0 still resolves to the sample's bucket (its lower edge).
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+  // A single sample in the overflow bucket clamps to bounds.back().
+  obs::HistogramData over;
+  over.bounds = {10, 20};
+  over.buckets = {0, 0, 1};
+  over.count = 1;
+  EXPECT_DOUBLE_EQ(over.percentile(0.50), 20.0);
+  EXPECT_DOUBLE_EQ(over.percentile(0.99), 20.0);
+}
+
+// ---- WallTimer -------------------------------------------------------
+
+/// elapsed_us() reflects real elapsed time: at least as long as a
+/// sleep bracketed by the reading, and monotone across calls.
+TEST(WallTimer, ElapsedCoversSleepAndIsMonotone) {
+  obs::WallTimer timer;
+  const auto immediately = timer.elapsed_us();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const auto after_sleep = timer.elapsed_us();
+  EXPECT_GE(after_sleep, immediately + 2000);
+  EXPECT_GE(timer.elapsed_us(), after_sleep);  // steady clock: never backwards
+}
+
+TEST(WallTimer, ResetRestartsTheClock) {
+  obs::WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GE(timer.elapsed_us(), 2000u);
+  timer.reset();
+  // After reset the elapsed time restarts near zero — far below the
+  // 2ms that had accumulated (slack for scheduling hiccups).
+  EXPECT_LT(timer.elapsed_us(), 2000u);
 }
 
 TEST(Trace, JsonlShapeAndLogicalClock) {

@@ -13,6 +13,9 @@
 //     layer);
 //   * degradation: a sabotaged epoch publishes nothing, keeps serving
 //     the stale version, and marks every response degraded;
+//   * observability hooks: degraded responses flow through the
+//     service's observe hook into an attached SloWatchdog (the exit-6
+//     contract's trigger) and every request into a TelemetryExporter;
 //   * snapshot/restore: the restored tenant serves the byte-identical
 //     (epoch, hash) version and its post-restore audit stays clean.
 #include <gtest/gtest.h>
@@ -27,6 +30,9 @@
 #include <vector>
 
 #include "tmwia/matrix/generators.hpp"
+#include "tmwia/obs/metrics.hpp"
+#include "tmwia/obs/slo.hpp"
+#include "tmwia/obs/telemetry.hpp"
 #include "tmwia/rng/rng.hpp"
 #include "tmwia/serve/cache.hpp"
 #include "tmwia/serve/protocol.hpp"
@@ -352,6 +358,72 @@ TEST(ServeService, DegradedTenantMarksResponsesAndServiceFlag) {
   EXPECT_TRUE(r.degraded);
   EXPECT_EQ(r.epoch, 0u);       // still the stale epoch-0 version
   EXPECT_EQ(r.staleness, 1u);   // one epoch behind
+}
+
+// ---- SLO watchdog + telemetry hooks ----------------------------------
+
+/// The serve exit-code 6 contract, at the library layer: a sabotaged
+/// tenant's degraded responses flow through the service's observe hook
+/// into the watchdog, which raises a structured "degraded" alert and
+/// latches breached().
+TEST(ServeSlo, SabotagedTenantTripsWatchdog) {
+  serve::RecommendationService service;
+  service.add_tenant(make_config("good", 41), make_instance(41));
+  auto cfg = make_config("sab", 51);
+  cfg.sabotage_refine = true;
+  service.add_tenant(std::move(cfg), make_instance(51));
+
+  obs::SloWatchdog watchdog(obs::SloSpec::parse("degraded=0,window=8"));
+  service.set_watchdog(&watchdog);
+
+  // Healthy traffic: no alert, no breach.
+  service.refine("good");
+  EXPECT_TRUE(service.recommend("good", 0, 4).ok);
+  EXPECT_TRUE(watchdog.evaluate(1).empty());
+  EXPECT_FALSE(watchdog.breached());
+
+  // The sabotaged epoch degrades every later response; one is enough.
+  service.refine("sab");
+  const auto r = service.recommend("sab", 0, 4);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.degraded);
+  const auto alerts = watchdog.evaluate(2);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].objective, "degraded");
+  EXPECT_DOUBLE_EQ(alerts[0].observed, 1.0);
+  EXPECT_TRUE(watchdog.breached());
+  const auto rep = watchdog.report();
+  EXPECT_FALSE(rep.ok);
+  ASSERT_EQ(rep.objectives.size(), 1u);
+  EXPECT_EQ(rep.objectives[0].name, "degraded");
+}
+
+/// Requests flow into an attached TelemetryExporter: with every=1 each
+/// request closes a tick, and the exemplar record names the tenant and
+/// op that was served.
+TEST(ServeSlo, ServiceFeedsTelemetryExporter) {
+  const std::string path = temp_path("telemetry");
+  serve::RecommendationService service;
+  service.add_tenant(make_config("t", 41), make_instance(41));
+  service.refine("t");
+
+  obs::TelemetryConfig cfg;
+  cfg.path = path;
+  cfg.every = 1;
+  cfg.write_exposition = false;
+  {
+    obs::TelemetryExporter exporter(cfg, obs::MetricsRegistry::global());
+    service.set_telemetry(&exporter);
+    EXPECT_TRUE(service.recommend("t", 0, 4).ok);
+    EXPECT_EQ(exporter.ticks(), 1u);
+    service.set_telemetry(nullptr);
+    exporter.finish();
+  }
+  const auto text = slurp(path);
+  EXPECT_NE(text.find("\"kind\":\"snapshot\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"exemplar\",\"seq\":1,\"tenant\":\"t\",\"op\":\"recommend\""),
+            std::string::npos);
+  std::remove(path.c_str());
 }
 
 // ---- snapshot / restore ---------------------------------------------

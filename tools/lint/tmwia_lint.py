@@ -73,6 +73,17 @@ literals stripped) for constructs that would let those invariants rot:
                            read discipline only holds if writers go
                            through the Counter/Histogram handles and the
                            set_recorder/set_tracer registration points.
+  metric-name-registry     a metric or profile-zone name literal
+                           (counter/histogram/set_gauge/add_gauge/
+                           ProfileZone/intern call site in src/) that is
+                           not in the generated registry header
+                           (src/obs/.../metric_names.gen.hpp, regenerate
+                           with --write-metric-registry), or a registry
+                           entry no call site uses. Dynamically composed
+                           names ("serve." + tenant + ...) always fire
+                           and carry an auditable allow pragma, so the
+                           set of unregistered name shapes stays
+                           enumerable.
   stale-pragma             a tmwia-lint allow/allow-file pragma that no
                            longer suppresses any finding — the escape-
                            hatch inventory stays honest.
@@ -93,8 +104,8 @@ nothing is silently exempt.
 
 Usage:
   tools/lint/tmwia_lint.py [--root DIR] [--json PATH] [--compile-checks]
-                           [--write-header-test] [--list-rules]
-                           [--self-test] [-q]
+                           [--write-header-test] [--write-metric-registry]
+                           [--list-rules] [--self-test] [-q]
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -348,6 +359,18 @@ EXPLICIT_ATOMIC_ORDERING = Rule(
     dirs=("src",),
 )
 
+METRIC_NAME_REGISTRY = Rule(
+    id="metric-name-registry",
+    description="metric/profile-zone name literal not in the generated "
+    "registry (src/obs/include/tmwia/obs/metric_names.gen.hpp; regenerate "
+    "with --write-metric-registry), or a registry entry with no remaining "
+    "call site; dynamically composed names carry an explained allow pragma",
+    # src/obs owns the registry machinery itself and mints no product
+    # names; tests/bench/tools mint throwaway names at will.
+    dirs=("src",),
+    exempt=("src/obs",),
+)
+
 STALE_PRAGMA = Rule(
     id="stale-pragma",
     description="tmwia-lint allow pragma that no longer suppresses any "
@@ -356,8 +379,8 @@ STALE_PRAGMA = Rule(
 )
 
 ALL_RULES = RULES + [PER_BIT_LOOP, NONCONST_GLOBAL, NAKED_MUTEX,
-                     EXPLICIT_ATOMIC_ORDERING, STALE_PRAGMA,
-                     HEADER_PRAGMA_ONCE, HEADER_TEST_STALE,
+                     EXPLICIT_ATOMIC_ORDERING, METRIC_NAME_REGISTRY,
+                     STALE_PRAGMA, HEADER_PRAGMA_ONCE, HEADER_TEST_STALE,
                      HEADER_SELFCONTAINED]
 
 
@@ -715,6 +738,148 @@ def scan_atomic_orderings(stripped_lines, raw_lines, relpath):
     return findings
 
 
+# A metric/zone construction site whose name argument starts with a
+# string literal. Matched against the STRIPPED line (so a mention in a
+# comment cannot fire); the literal's contents are then read from the
+# raw line at the same offsets (the stripper is offset-preserving).
+_METRIC_SITES = (
+    # Registry handles: name is the first argument.
+    re.compile(r'\b(?:counter|histogram|set_gauge|add_gauge)\s*\(\s*"'),
+    # Scoped profile zone with a literal name.
+    re.compile(r'\bProfileZone\s+\w+\s*[({]\s*"'),
+    # Pre-interned zone id: name is the second argument.
+    re.compile(r'\bintern\s*\(\s*[^,()]*,\s*"'),
+)
+
+METRIC_REGISTRY_PATH = os.path.join(
+    "src", "obs", "include", "tmwia", "obs", "metric_names.gen.hpp")
+
+
+def iter_metric_literals(stripped_lines, raw_lines):
+    """Yield (lineno, name, complete) for every metric/zone name literal.
+    `complete` is False when the literal is only the head of a composed
+    name ("serve." + tenant + ...) — those can never be registered and
+    always need a pragma."""
+    for idx, sline in enumerate(stripped_lines):
+        raw = raw_lines[idx] if idx < len(raw_lines) else ""
+        seen_cols = set()
+        for pat in _METRIC_SITES:
+            for m in pat.finditer(sline):
+                qpos = m.end() - 1  # the opening quote
+                if qpos in seen_cols or qpos >= len(raw):
+                    continue
+                seen_cols.add(qpos)
+                end = raw.find('"', qpos + 1)
+                if end < 0:
+                    continue
+                name = raw[qpos + 1:end]
+                rest = raw[end + 1:].strip()
+                # A literal followed by ) or , (or a line break before
+                # the next argument) is the whole name.
+                complete = rest == "" or rest[0] in "),"
+                yield idx + 1, name, complete
+
+
+def load_metric_registry(root: str):
+    """Parse the generated registry header into ({name: lineno} or None
+    when the header is missing)."""
+    path = os.path.join(root, METRIC_REGISTRY_PATH)
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError:
+        return None
+    entries = {}
+    for lineno, line in enumerate(lines, start=1):
+        m = re.match(r'\s*"([^"]+)",?\s*$', line)
+        if m:
+            entries.setdefault(m.group(1), lineno)
+    return entries
+
+
+def scan_metric_names(stripped_lines, raw_lines, relpath, registry, used_names):
+    """Per-file half of metric-name-registry: every literal must be a
+    registered complete name. Composed names (incomplete literals) fire
+    unconditionally — the pragma on the call site is the registry entry
+    for the name *shape*."""
+    findings = []
+    for lineno, name, complete in iter_metric_literals(stripped_lines, raw_lines):
+        if complete:
+            used_names.add(name)
+        if registry is None:
+            findings.append(Finding(
+                METRIC_NAME_REGISTRY.id, relpath, lineno,
+                f'"{name}": registry header missing; run --write-metric-registry'))
+        elif not complete:
+            findings.append(Finding(
+                METRIC_NAME_REGISTRY.id, relpath, lineno,
+                f'"{name}...": dynamically composed name (pragma required)'))
+        elif name not in registry:
+            findings.append(Finding(
+                METRIC_NAME_REGISTRY.id, relpath, lineno,
+                f'"{name}" not in metric_names.gen.hpp; run --write-metric-registry'))
+    return findings
+
+
+def check_metric_registry_unused(registry, used_names):
+    """Registry entries no call site names anymore: the generated header
+    is stale in the shrinking direction."""
+    if registry is None:
+        return []
+    return [Finding(METRIC_NAME_REGISTRY.id, METRIC_REGISTRY_PATH, lineno,
+                    f'"{name}" registered but never used; run --write-metric-registry')
+            for name, lineno in sorted(registry.items(), key=lambda kv: kv[1])
+            if name not in used_names]
+
+
+def collect_metric_names(root: str):
+    """All complete metric/zone name literals in rule scope, for the
+    generator."""
+    names = set()
+    for relpath in iter_source_files(root):
+        if not METRIC_NAME_REGISTRY.in_scope(relpath):
+            continue
+        with open(os.path.join(root, relpath), encoding="utf-8") as f:
+            raw = f.read()
+        raw_lines = raw.splitlines()
+        stripped_lines = strip_comments_and_strings(raw).splitlines()
+        for _lineno, name, complete in iter_metric_literals(stripped_lines, raw_lines):
+            if complete:
+                names.add(name)
+    return sorted(names)
+
+
+def render_metric_registry(root: str) -> str:
+    names = collect_metric_names(root)
+    lines = [
+        "// GENERATED by tools/lint/tmwia_lint.py --write-metric-registry — do not edit.",
+        "//",
+        "// The canonical inventory of statically-named metrics and profile",
+        "// zones. The metric-name-registry lint rule keeps call sites and this",
+        "// table in lockstep: a name used but not listed here (or listed but no",
+        "// longer used) is a finding, so dashboards and alert rules keyed on",
+        "// these strings cannot silently drift from the code. Dynamically",
+        "// composed names (per-tenant counters, per-guess zones) are excluded",
+        "// by construction and carry allow pragmas at their call sites.",
+        "#pragma once",
+        "",
+        "#include <array>",
+        "#include <string_view>",
+        "",
+        "namespace tmwia::obs {",
+        "",
+        f"inline constexpr std::array<std::string_view, {len(names)}> kMetricNames = {{",
+    ]
+    lines += [f'    "{n}",' for n in names]
+    lines += [
+        "};",
+        "",
+        "}  // namespace tmwia::obs",
+        "",
+    ]
+    return "\n".join(lines)
+
+
 def public_headers(root: str):
     """Every header under src/*/include, repo-relative, sorted."""
     out = []
@@ -830,6 +995,8 @@ def lint(root: str, compile_checks: bool, quiet: bool):
     allowed = []
     compiled = {r.id: [re.compile(p) for p in r.patterns] for r in RULES}
     files_scanned = 0
+    metric_registry = load_metric_registry(root)
+    metric_usage = set()
 
     for relpath in iter_source_files(root):
         files_scanned += 1
@@ -882,6 +1049,11 @@ def lint(root: str, compile_checks: bool, quiet: bool):
             for f in scan_atomic_orderings(stripped_lines, raw_lines, relpath):
                 emit(f)
 
+        if METRIC_NAME_REGISTRY.in_scope(relpath):
+            for f in scan_metric_names(stripped_lines, raw_lines, relpath,
+                                       metric_registry, metric_usage):
+                emit(f)
+
         if relpath.endswith((".hpp", ".hh", ".h")) and "#pragma once" not in raw:
             emit(Finding(HEADER_PRAGMA_ONCE.id, relpath, 1, "missing #pragma once"))
 
@@ -895,6 +1067,11 @@ def lint(root: str, compile_checks: bool, quiet: bool):
                 emit(Finding(STALE_PRAGMA.id, relpath, pragma.line,
                              f"allow{'-file' if pragma.kind == 'file' else ''}"
                              f"({pragma.rule}) suppresses nothing"))
+
+    # Cross-file half of metric-name-registry: entries nobody names.
+    # No pragma channel here — the fix is always regeneration.
+    for f in check_metric_registry_unused(metric_registry, metric_usage):
+        findings.append(f)
 
     for f in check_header_test(root):
         findings.append(f)
@@ -980,6 +1157,33 @@ SELF_TEST_FIXTURES = {
         "// tmwia-lint: allow-file(unseeded-rng) fixture: nothing random here\n"
         "void fixture_stale() {}\n"
     ),
+    # metric-name-registry: a fixture registry header declares fix.known
+    # (used), fix.unused (stale entry); a rogue literal, a clean literal
+    # and a pragma'd composed name exercise the three verdicts.
+    "src/obs/include/tmwia/obs/metric_names.gen.hpp": (
+        "// GENERATED fixture registry\n"
+        "#pragma once\n"
+        "inline constexpr const char* kMetricNames[] = {\n"
+        '    "fix.known",\n'
+        '    "fix.unused",\n'
+        "};\n"
+    ),
+    "src/fix/metric_fire.cpp": (
+        "void fixture_metric_fire(void* reg) {\n"
+        '  registry_of(reg).counter("fix.rogue");\n'
+        "}\n"
+    ),
+    "src/fix/metric_ok.cpp": (
+        "void fixture_metric_ok(void* reg) {\n"
+        '  registry_of(reg).counter("fix.known");\n'
+        "}\n"
+    ),
+    "src/fix/metric_allowed.cpp": (
+        "void fixture_metric_allowed(void* reg, const char* t) {\n"
+        "  // tmwia-lint: allow(metric-name-registry) fixture: per-tenant name\n"
+        '  registry_of(reg).counter("fix." + std::string(t));\n'
+        "}\n"
+    ),
     "src/fix/stale_allowed.cpp": (
         "// tmwia-lint: allow(stale-pragma) fixture: historical marker\n"
         "// tmwia-lint: allow(manual-lock) fixture: nothing locks\n"
@@ -998,8 +1202,11 @@ SELF_TEST_FINDINGS = {
     ("serve-matrix-isolation", "src/serve/fix_serve_fire.cpp", 2),
     ("serve-matrix-isolation", "src/serve/fix_serve_fire.cpp", 3),
     ("stale-pragma", "src/fix/stale.cpp", 1),
-    # The fixture tree has public headers = none, so the generated header
-    # test is reported missing — expected, not part of the rules under test.
+    ("metric-name-registry", "src/fix/metric_fire.cpp", 2),
+    ("metric-name-registry", METRIC_REGISTRY_PATH, 5),
+    # The fixture tree has no tests/header_selfcontained_test.cpp, so the
+    # generated header test is reported missing — expected, not part of
+    # the rules under test.
     ("header-test-stale", HEADER_TEST_PATH, 1),
 }
 
@@ -1008,6 +1215,7 @@ SELF_TEST_ALLOWED = {
     ("manual-lock", "src/fix/manual_lock.cpp", 6),
     ("stale-pragma", "src/fix/stale_allowed.cpp", 2),
     ("serve-matrix-isolation", "src/serve/fix_serve_allowed.cpp", 2),
+    ("metric-name-registry", "src/fix/metric_allowed.cpp", 3),
 }
 
 
@@ -1050,6 +1258,8 @@ def main(argv):
                     help="also compile every public header stand-alone")
     ap.add_argument("--write-header-test", action="store_true",
                     help=f"regenerate {HEADER_TEST_PATH} and exit")
+    ap.add_argument("--write-metric-registry", action="store_true",
+                    help=f"regenerate {METRIC_REGISTRY_PATH} and exit")
     ap.add_argument("--list-rules", action="store_true")
     ap.add_argument("--self-test", action="store_true",
                     help="run the lint rules against built-in fixtures and exit")
@@ -1075,6 +1285,13 @@ def main(argv):
         with open(path, "w", encoding="utf-8") as f:
             f.write(render_header_test(root))
         print(f"tmwia-lint: wrote {HEADER_TEST_PATH}")
+        return 0
+
+    if args.write_metric_registry:
+        path = os.path.join(root, METRIC_REGISTRY_PATH)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(render_metric_registry(root))
+        print(f"tmwia-lint: wrote {METRIC_REGISTRY_PATH}")
         return 0
 
     findings, allowed, files_scanned, headers_checked = lint(

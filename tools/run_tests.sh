@@ -39,6 +39,14 @@
 #              response line's shape, and verify the exit-code contract:
 #              0 for a clean stream, 2 when a request fails to parse or
 #              dispatch, 4 when a tenant ends the stream degraded
+#   telemetry  default: the observability contract — replay the sample
+#              serve stream with --telemetry/--slo/--prof and jq-check
+#              the JSONL record kinds, the Prometheus exposition, the
+#              RunReport profile/slo sections, and the stats summary;
+#              force an SLO breach with a sabotaged tenant (exit 6,
+#              structured alert record); and require the --prof
+#              attribution tree to be byte-identical across
+#              --threads 1/4 and across kernel backends
 #   kill-resume opt-in: durability drill — checkpoint an e8-scale
 #              unknown_d run, SIGKILL it mid-phase via the kill-at-round
 #              fault, resume from the snapshot, and require the
@@ -50,9 +58,12 @@
 #   tools/run_tests.sh [--plain-only|--sanitize-only|--tsan-only]
 #                      [--lint-only] [--audit] [--bench-json]
 #                      [--bench-history] [--kernel-parity]
-#                      [--thread-safety] [--kill-resume] [--serve] [-j N]
+#                      [--thread-safety] [--kill-resume] [--serve]
+#                      [--telemetry] [-j N]
 #
-# Default runs lint + plain + asan + tsan; all requested stages must pass.
+# Default runs lint + plain + asan + tsan + telemetry; the *-only modes
+# drop the telemetry stage (pass --telemetry to add it back). All
+# requested stages must pass.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -68,13 +79,14 @@ RUN_KERNEL_PARITY=0
 RUN_THREAD_SAFETY=0
 RUN_KILL_RESUME=0
 RUN_SERVE=0
+RUN_TELEMETRY=1
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
-    --plain-only) RUN_SAN=0; RUN_TSAN=0; RUN_LINT=0 ;;
-    --sanitize-only) RUN_PLAIN=0; RUN_TSAN=0; RUN_LINT=0 ;;
-    --tsan-only) RUN_PLAIN=0; RUN_SAN=0; RUN_LINT=0 ;;
-    --lint-only) RUN_PLAIN=0; RUN_SAN=0; RUN_TSAN=0; RUN_LINT=1 ;;
+    --plain-only) RUN_SAN=0; RUN_TSAN=0; RUN_LINT=0; RUN_TELEMETRY=0 ;;
+    --sanitize-only) RUN_PLAIN=0; RUN_TSAN=0; RUN_LINT=0; RUN_TELEMETRY=0 ;;
+    --tsan-only) RUN_PLAIN=0; RUN_SAN=0; RUN_LINT=0; RUN_TELEMETRY=0 ;;
+    --lint-only) RUN_PLAIN=0; RUN_SAN=0; RUN_TSAN=0; RUN_LINT=1; RUN_TELEMETRY=0 ;;
     --audit) RUN_AUDIT=1 ;;
     --bench-json) RUN_BENCH_JSON=1 ;;
     --bench-history) RUN_BENCH_HISTORY=1 ;;
@@ -82,6 +94,7 @@ while [[ $# -gt 0 ]]; do
     --thread-safety) RUN_THREAD_SAFETY=1 ;;
     --kill-resume) RUN_KILL_RESUME=1 ;;
     --serve) RUN_SERVE=1 ;;
+    --telemetry) RUN_TELEMETRY=1 ;;
     -j) JOBS="$2"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
@@ -131,10 +144,10 @@ if [[ $RUN_TSAN -eq 1 ]]; then
   echo "== TSan (obs + engine + scheduler) =="
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DTMWIA_TSAN=ON
   cmake --build "$ROOT/build-tsan" -j "$JOBS" \
-    --target test_obs test_engine test_round_scheduler test_thread_safety test_serve
+    --target test_obs test_profile test_engine test_round_scheduler test_thread_safety test_serve
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
-    -R '(Metrics|Trace|Obs|Engine|ThreadPool|Parallel|RoundScheduler|Scheduler|ThreadSafety|Serve)'
+    -R '(Metrics|Trace|Obs|Engine|ThreadPool|Parallel|RoundScheduler|Scheduler|ThreadSafety|Serve|Profile|Slo|Telemetry)'
 fi
 
 if [[ $RUN_AUDIT -eq 1 ]]; then
@@ -311,6 +324,96 @@ if [[ $RUN_SERVE -eq 1 ]]; then
     || { echo "serve: degraded responses not marked" >&2; exit 1; }
 
   rm -rf "$SERVE_DIR"
+fi
+
+if [[ $RUN_TELEMETRY -eq 1 ]]; then
+  echo "== telemetry (profiler + exporter + SLO watchdog) =="
+  command -v jq >/dev/null || { echo "jq required for the telemetry stage" >&2; exit 2; }
+  cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+  cmake --build "$ROOT/build" -j "$JOBS" --target tmwia_cli
+  CLI="$ROOT/build/tools/tmwia_cli"
+  TEL_DIR="$(mktemp -d)"
+
+  echo "-- clean stream: JSONL shape, exposition, SLO verdict, exit 0"
+  "$CLI" serve --requests="$ROOT/tools/serve_requests.sample.jsonl" \
+    --out="$TEL_DIR/resp.jsonl" --telemetry="$TEL_DIR/stream.jsonl" \
+    --telemetry-every=2 --slo='degraded=0,window=64' \
+    --prof="$TEL_DIR/prof.json" --report="$TEL_DIR/report.json"
+  # Every record is a known kind; snapshots carry seq + metrics;
+  # exemplars name a tenant and latency; the stream ends with a clean
+  # slo_report verdict.
+  jq -e -s 'length > 0
+      and all(.[]; .kind == "snapshot" or .kind == "exemplar"
+          or .kind == "alert" or .kind == "slo_report")
+      and ([.[] | select(.kind == "snapshot")] | length >= 1)
+      and all(.[] | select(.kind == "snapshot");
+          (.seq >= 1) and (.metrics | type == "object"))
+      and all(.[] | select(.kind == "exemplar");
+          (.tenant | type == "string") and (.latency_us | type == "number"))
+      and (.[-1].kind == "slo_report") and (.[-1].report.ok == true)' \
+    "$TEL_DIR/stream.jsonl" >/dev/null \
+    || { echo "telemetry: malformed stream" >&2; exit 1; }
+  grep -q '^tmwia_serve_requests ' "$TEL_DIR/stream.jsonl.prom" \
+    || { echo "telemetry: exposition missing tmwia_serve_requests" >&2; exit 1; }
+  jq -e '.algo == "serve" and (.profile.name == "root") and (.slo.ok == true)' \
+    "$TEL_DIR/report.json" >/dev/null \
+    || { echo "telemetry: RunReport missing profile/slo sections" >&2; exit 1; }
+  jq -e '.name == "root" and (.children | length >= 1)' "$TEL_DIR/prof.json" >/dev/null \
+    || { echo "telemetry: --prof artifact malformed" >&2; exit 1; }
+
+  echo "-- stats: per-kind summary over the stream"
+  "$CLI" stats --telemetry="$TEL_DIR/stream.jsonl" | grep -q 'slo_report=1' \
+    || { echo "telemetry: stats summary missing slo_report count" >&2; exit 1; }
+
+  echo "-- forced SLO breach: sabotaged tenant, exit 6, structured alert"
+  rc=0
+  printf '%s\n' \
+    '{"op":"add_tenant","tenant":"sab","n":16,"m":32,"kind":"planted","seed":3,"sabotage":true}' \
+    '{"op":"refine","tenant":"sab","epochs":1}' \
+    '{"op":"recommend","tenant":"sab","player":0,"k":4}' \
+    | "$CLI" serve --requests=- --out="$TEL_DIR/sab.jsonl" \
+        --telemetry="$TEL_DIR/sab_stream.jsonl" --telemetry-every=1 \
+        --slo='degraded=0,window=8' || rc=$?
+  [[ $rc -eq 6 ]] || { echo "telemetry: expected exit 6 for SLO breach, got $rc" >&2; exit 1; }
+  jq -e -s '([.[] | select(.kind == "alert" and .objective == "degraded"
+          and .observed > .threshold)] | length >= 1)
+      and (.[-1].kind == "slo_report") and (.[-1].report.ok == false)' \
+    "$TEL_DIR/sab_stream.jsonl" >/dev/null \
+    || { echo "telemetry: breach stream missing alert/verdict" >&2; exit 1; }
+
+  echo "-- attribution determinism: --prof bytes across threads and kernels"
+  "$CLI" gen --kind=planted --n=64 --m=96 --alpha=0.5 --radius=1 --seed=7 \
+    --out="$TEL_DIR/world.tmw" >/dev/null
+  for t in 1 4; do
+    "$CLI" run --in="$TEL_DIR/world.tmw" --algo=unknown_d --alpha=0.5 --seed=11 \
+      --threads="$t" --prof="$TEL_DIR/prof_t$t.json" --out=/dev/null >/dev/null
+  done
+  cmp "$TEL_DIR/prof_t1.json" "$TEL_DIR/prof_t4.json"
+  echo "-- --threads 1/4: attribution trees match"
+  ref=""
+  for k in scalar avx2 avx512; do
+    rc=0
+    "$CLI" run --in="$TEL_DIR/world.tmw" --algo=unknown_d --alpha=0.5 --seed=11 \
+      --kernel="$k" --prof="$TEL_DIR/prof_$k.json" --out=/dev/null \
+      >/dev/null 2>"$TEL_DIR/$k.err" || rc=$?
+    if [[ $rc -eq 2 ]] && grep -q "not supported on this CPU" "$TEL_DIR/$k.err"; then
+      echo "-- $k: not supported on this CPU; skipped"
+      continue
+    fi
+    if [[ $rc -ne 0 ]]; then
+      cat "$TEL_DIR/$k.err" >&2
+      echo "telemetry: --kernel=$k profiled run failed (rc=$rc)" >&2
+      exit 1
+    fi
+    if [[ -z "$ref" ]]; then
+      ref="$k"
+      echo "-- $k: reference"
+      continue
+    fi
+    cmp "$TEL_DIR/prof_$ref.json" "$TEL_DIR/prof_$k.json"
+    echo "-- $k: attribution tree matches $ref"
+  done
+  rm -rf "$TEL_DIR"
 fi
 
 if [[ $RUN_KILL_RESUME -eq 1 ]]; then

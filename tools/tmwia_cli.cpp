@@ -42,6 +42,15 @@
 // scheduler under engine::Supervisor (deadlines/backoff/quarantine);
 // with --sabotage=P it demonstrates a degraded-but-complete run.
 //
+// Observability: `run/resume/serve --prof=FILE` writes the
+// deterministic cost-attribution tree (--flame=FILE the flamegraph
+// form; --prof-wall opts into wall-time sampling, breaking byte
+// stability). `serve --telemetry=FILE --telemetry-every=N` streams
+// periodic metrics/profiler snapshots as JSONL (with a Prometheus
+// text exposition at FILE.prom) and `serve --slo=SPEC` arms the SLO
+// watchdog (alerts land in the stream; a breach sets the exit code).
+// `stats --telemetry=FILE [--follow]` summarizes or tails a stream.
+//
 // Exit codes (stable; asserted by tests/cli_workflow.sh):
 //   0  success
 //   1  unexpected runtime error
@@ -49,6 +58,7 @@
 //   3  replay/audit failure (protocol violation or total mismatch)
 //   4  run completed degraded (quarantined players / unmet phases)
 //   5  checkpoint file corrupt or unreadable
+//   6  serve completed but an SLO objective was breached
 //
 // tmwia-lint: allow-file(sink-registration) CLI is a sink registrar:
 // it owns the trace/record sinks it installs for --trace/--record.
@@ -60,6 +70,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "tmwia/baselines/baselines.hpp"
 #include "tmwia/billboard/protocol_auditor.hpp"
@@ -89,13 +100,14 @@ constexpr int kExitUsage = 2;
 constexpr int kExitAuditFailed = 3;
 constexpr int kExitDegraded = 4;
 constexpr int kExitCheckpointCorrupt = 5;
+constexpr int kExitSloBreach = 6;
 
 // The single source of truth for every flag tmwia_cli accepts: --help
 // is rendered from this table and unknown flags are rejected against
 // it, per subcommand.
 const io::FlagTable& flag_table() {
   static const io::FlagTable table(
-      "usage: tmwia_cli <gen|info|run|resume|eval|inspect|replay|serve> [--key=value ...]  "
+      "usage: tmwia_cli <gen|info|run|resume|eval|inspect|replay|serve|stats> [--key=value ...]  "
       "(or: tmwia_cli --help)",
       {
           {"kind", "K", "instance family: planted|multi|adversarial|markov|lowrank|uniform",
@@ -119,12 +131,13 @@ const io::FlagTable& flag_table() {
           {"rank", "K", "rank for --algo=svd (default 4)", "run"},
           {"faults", "SPEC", "fault plan, e.g. seed=S,crash=R@A-B,probe=R,kill=R", "run"},
           {"metrics", "FILE", "write final metrics snapshot JSON here", "run,resume,serve"},
-          {"trace", "FILE", "write span/event trace JSONL here", "run,resume"},
+          {"trace", "FILE", "write span/event trace JSONL here (serve: exemplar "
+           "spans)", "run,resume,serve"},
           {"record", "FILE", "write the flight-recorder event log here", "run,resume"},
           {"record-format", "F", "recorder wire format: jsonl|binary (default jsonl)",
            "run,resume"},
           {"report", "FILE", "write the RunReport (phase timeline) as JSON here",
-           "run,resume"},
+           "run,resume,serve"},
           {"threads", "N", "global thread-pool size (0 = hardware)", "run,resume,serve"},
           {"kernel", "B", "distance-kernel backend: scalar|avx2|avx512|auto "
            "(default auto; any choice computes identical results)", "run,resume,serve"},
@@ -145,6 +158,19 @@ const io::FlagTable& flag_table() {
           {"max-epochs", "E", "serve: background epochs per tenant (default 4, 0 = until "
            "the stream ends)", "serve"},
           {"log", "FILE", "flight-recorder log to read", "inspect,replay"},
+          {"prof", "FILE", "write the cost-attribution tree JSON here (deterministic "
+           "logical costs)", "run,resume,serve"},
+          {"flame", "FILE", "write a flamegraph-style JSON (probes axis) here",
+           "run,resume,serve"},
+          {"prof-wall", "", "also sample wall time into profile zones (breaks "
+           "byte-stability; needs --prof or --flame)", "run,resume,serve"},
+          {"telemetry", "FILE", "serve: stream telemetry JSONL here (Prometheus "
+           "exposition at FILE.prom); stats: stream to read", "serve,stats"},
+          {"telemetry-every", "N", "serve: requests per telemetry tick (default 64)",
+           "serve"},
+          {"slo", "SPEC", "serve: SLO objectives, e.g. "
+           "p99_us=5000,staleness=4,degraded=0,audit=0,window=256", "serve"},
+          {"follow", "", "stats: keep tailing the telemetry stream", "stats"},
           {"help", "", "show this help"},
       });
   return table;
@@ -180,6 +206,31 @@ void apply_kernel_flag(const io::Args& args) {
 void write_text_artifact(const std::string& path, std::string text) {
   text.push_back('\n');
   io::atomic_write_file(path, text);
+}
+
+/// Arm the global cost-attribution profiler when --prof/--flame ask
+/// for an artifact. Wall sampling is opt-in on top (it breaks the
+/// byte-stability contract the determinism drills compare).
+void apply_profiler_flags(const io::Args& args) {
+  const bool want = args.get("prof").has_value() || args.get("flame").has_value();
+  if (args.get_flag("prof-wall") && !want) {
+    throw std::invalid_argument("--prof-wall requires --prof or --flame");
+  }
+  if (!want) return;
+  auto& prof = obs::Profiler::global();
+  prof.set_enabled(true);
+  if (args.get_flag("prof-wall")) prof.set_wall_sampling(true);
+}
+
+/// Serial-point profiler export shared by run/resume/serve.
+void write_profiler_artifacts(const io::Args& args) {
+  auto& prof = obs::Profiler::global();
+  if (const auto path = args.get("prof"); path.has_value()) {
+    write_text_artifact(*path, prof.report().to_json(prof.wall_sampling()));
+  }
+  if (const auto path = args.get("flame"); path.has_value()) {
+    write_text_artifact(*path, prof.report().flamegraph_json(obs::Cost::kProbes));
+  }
 }
 
 /// The trace/record sinks `run` and `resume` both install. The
@@ -324,6 +375,7 @@ int cmd_run(const io::Args& args) {
   apply_kernel_flag(args);
   const auto metrics_path = args.get("metrics");
   if (metrics_path.has_value()) obs::MetricsRegistry::global().set_enabled(true);
+  apply_profiler_flags(args);
   ObsSinks sinks;
   sinks.open(args, inst);
 
@@ -488,6 +540,7 @@ int cmd_run(const io::Args& args) {
     // algos (which bypass the core entry points) are covered too.
     write_metrics_snapshot(*metrics_path, oracle);
   }
+  write_profiler_artifacts(args);
   sinks.finish();
 
   std::cout << "algo: " << algo << "\nrounds (max probes/player): "
@@ -514,6 +567,7 @@ int cmd_resume(const io::Args& args) {
   apply_kernel_flag(args);
   const auto metrics_path = args.get("metrics");
   if (metrics_path.has_value()) obs::MetricsRegistry::global().set_enabled(true);
+  apply_profiler_flags(args);
   ObsSinks sinks;
   sinks.open(args, inst);
 
@@ -556,6 +610,7 @@ int cmd_resume(const io::Args& args) {
     io::atomic_write_file(require(args, "out"), os.str());
   }
   if (metrics_path.has_value()) write_metrics_snapshot(*metrics_path, oracle);
+  write_profiler_artifacts(args);
   sinks.finish();
 
   std::cout << "resumed from checkpoint seq " << ckpt.seq << " (cut at "
@@ -908,6 +963,44 @@ int cmd_serve(const io::Args& args) {
   apply_kernel_flag(args);
   const auto metrics_path = args.get("metrics");
   if (metrics_path.has_value()) obs::MetricsRegistry::global().set_enabled(true);
+  apply_profiler_flags(args);
+
+  // Live-observability stack, outermost first: optional exemplar
+  // tracer, optional SLO watchdog, optional telemetry exporter over
+  // both. The exporter snapshots the metrics registry, so --telemetry
+  // implies enabling it (otherwise every snapshot would be empty).
+  const auto telemetry_path = args.get("telemetry");
+  if (!telemetry_path.has_value() && args.get("telemetry-every").has_value()) {
+    throw std::invalid_argument("--telemetry-every requires --telemetry");
+  }
+  // tmwia-lint: allow(durable-write) streaming exemplar-trace sink, not a one-shot artifact
+  std::ofstream trace_out;
+  std::unique_ptr<obs::Tracer> tracer;
+  if (const auto trace_path = args.get("trace"); trace_path.has_value()) {
+    trace_out.open(*trace_path);
+    if (!trace_out) throw std::runtime_error("cannot open --trace file");
+    tracer = std::make_unique<obs::Tracer>(trace_out);
+    obs::set_tracer(tracer.get());
+  }
+  std::unique_ptr<obs::SloWatchdog> watchdog;
+  if (const auto spec = args.get("slo"); spec.has_value()) {
+    auto parsed = obs::SloSpec::parse(*spec);
+    if (!parsed.any()) {
+      throw std::invalid_argument("--slo: spec enables no objective");
+    }
+    watchdog = std::make_unique<obs::SloWatchdog>(parsed);
+  }
+  std::unique_ptr<obs::TelemetryExporter> telemetry;
+  if (telemetry_path.has_value()) {
+    obs::MetricsRegistry::global().set_enabled(true);
+    obs::TelemetryConfig tcfg;
+    tcfg.path = *telemetry_path;
+    tcfg.every = static_cast<std::size_t>(args.get_int("telemetry-every", 64));
+    if (tcfg.every == 0) throw std::invalid_argument("--telemetry-every must be >= 1");
+    telemetry = std::make_unique<obs::TelemetryExporter>(
+        tcfg, obs::MetricsRegistry::global(), &obs::Profiler::global(), watchdog.get(),
+        tracer.get());
+  }
 
   const auto req_path = require(args, "requests");
   std::ifstream req_file;
@@ -927,6 +1020,8 @@ int cmd_serve(const io::Args& args) {
   }
 
   serve::RecommendationService service;
+  service.set_telemetry(telemetry.get());
+  service.set_watchdog(watchdog.get());
   const bool background = args.get_flag("background");
   const auto max_epochs = static_cast<std::uint64_t>(args.get_int("max-epochs", 4));
   bool any_failed = false;
@@ -954,11 +1049,110 @@ int cmd_serve(const io::Args& args) {
   // abandoned (the stream is done, nobody would read the fresher cache).
   service.stop_refiner();
 
+  // Quiescent tail: feed the cumulative audit ledgers to the watchdog
+  // (the audit objective is end-of-session by nature), close the
+  // telemetry stream (final tick + slo_report record), then write the
+  // one-shot artifacts.
+  if (watchdog != nullptr) {
+    for (const auto& name : service.tenant_names()) {
+      const auto audit = service.tenant(name)->audit();
+      watchdog->observe_audit_violations(audit.violations.size());
+    }
+  }
+  if (telemetry != nullptr) {
+    telemetry->finish();
+  } else if (watchdog != nullptr) {
+    // No exporter to drive the tick cadence: evaluate once at the end
+    // so --slo still judges the session.
+    (void)watchdog->evaluate(0);
+  }
+  if (tracer != nullptr) {
+    obs::set_tracer(nullptr);
+    tracer->flush();
+  }
+
   if (metrics_path.has_value()) {
     write_text_artifact(*metrics_path, obs::MetricsRegistry::global().snapshot().to_json());
   }
+  write_profiler_artifacts(args);
+  if (const auto report_path = args.get("report"); report_path.has_value()) {
+    core::RunReport rep;
+    rep.algo = core::RunReport::Algo::kServe;
+    for (const auto& name : service.tenant_names()) {
+      auto* t = service.tenant(name);
+      rep.total_probes += t->total_probes();
+      rep.rounds = std::max(rep.rounds, t->rounds());
+    }
+    auto& prof = obs::Profiler::global();
+    if (prof.enabled()) rep.profile_json = prof.report().to_json(prof.wall_sampling());
+    if (watchdog != nullptr) rep.slo_json = watchdog->report().to_json();
+    if (obs::MetricsRegistry::global().enabled()) {
+      rep.metrics = obs::MetricsRegistry::global().snapshot();
+    }
+    write_text_artifact(*report_path, rep.to_json());
+  }
+
   if (any_failed) return kExitUsage;
+  if (watchdog != nullptr && watchdog->breached()) {
+    std::cerr << "serve: SLO breached: " << watchdog->report().to_json() << '\n';
+    return kExitSloBreach;
+  }
   if (service.any_degraded()) return kExitDegraded;
+  return kExitOk;
+}
+
+// ---------------------------------------------------------------- stats
+
+// Classify one telemetry JSONL line by its leading "kind" field. The
+// stream writes `{"kind":"snapshot",...}` etc. with the kind first, so
+// a prefix check is enough — no JSON parser needed for a tail loop.
+std::string record_kind(const std::string& line) {
+  const std::string prefix = "{\"kind\":\"";
+  if (line.rfind(prefix, 0) != 0) return "?";
+  const auto end = line.find('"', prefix.size());
+  if (end == std::string::npos) return "?";
+  return line.substr(prefix.size(), end - prefix.size());
+}
+
+int cmd_stats(const io::Args& args) {
+  const auto path = require(args, "telemetry");
+  const bool follow = args.get_flag("follow");
+
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open --telemetry file: " + path);
+
+  std::map<std::string, std::uint64_t> counts;
+  std::string last_snapshot;
+  std::string line;
+  // One pass over what exists now; in --follow mode keep polling for
+  // appended lines (clear the eof latch, re-read from where we stopped).
+  for (;;) {
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const std::string kind = record_kind(line);
+      ++counts[kind];
+      if (kind == "snapshot") {
+        last_snapshot = line;
+      } else if (follow) {
+        // Alerts and the final verdict are the interesting tail events.
+        std::cout << line << '\n' << std::flush;
+      }
+      if (kind == "slo_report" && follow) {
+        // The writer emits slo_report exactly once, on finish(): the
+        // stream is complete, stop tailing.
+        std::cout << "stats: stream finished\n";
+        return kExitOk;
+      }
+    }
+    if (!follow) break;
+    in.clear();  // drop eofbit so the next getline sees appended data
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::cout << "records:";
+  for (const auto& [kind, n] : counts) std::cout << ' ' << kind << '=' << n;
+  std::cout << '\n';
+  if (!last_snapshot.empty()) std::cout << last_snapshot << '\n';
   return kExitOk;
 }
 
@@ -984,6 +1178,7 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") return cmd_inspect(args);
     if (cmd == "replay") return cmd_replay(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "stats") return cmd_stats(args);
     return usage();
   } catch (const io::CheckpointError& e) {
     // CheckpointError messages already carry their "checkpoint:" context.
